@@ -1,0 +1,152 @@
+//! Control-flow graph utilities: predecessor/successor maps and orders.
+
+use pdgc_ir::{Block, Function};
+
+/// Precomputed CFG structure for a function.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<Block>>,
+    preds: Vec<Vec<Block>>,
+    rpo: Vec<Block>,
+    rpo_index: Vec<usize>,
+}
+
+impl Cfg {
+    /// Computes successors, predecessors, and a reverse postorder from the
+    /// entry block.
+    ///
+    /// Blocks unreachable from the entry are excluded from the reverse
+    /// postorder (their `rpo_number` is `usize::MAX`) but still appear in
+    /// the predecessor/successor maps.
+    pub fn compute(func: &Function) -> Self {
+        let n = func.num_blocks();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for b in func.block_ids() {
+            for s in func.block(b).successors() {
+                succs[b.index()].push(s);
+                preds[s.index()].push(b);
+            }
+        }
+        // Iterative postorder DFS.
+        let mut post: Vec<Block> = Vec::with_capacity(n);
+        let mut visited = vec![false; n];
+        let mut stack: Vec<(Block, usize)> = vec![(Block::ENTRY, 0)];
+        visited[Block::ENTRY.index()] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succs[b.index()].len() {
+                let s = succs[b.index()][*i];
+                *i += 1;
+                if !visited[s.index()] {
+                    visited[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in post.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        Cfg {
+            succs,
+            preds,
+            rpo: post,
+            rpo_index,
+        }
+    }
+
+    /// Successors of `b`.
+    pub fn succs(&self, b: Block) -> &[Block] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessors of `b`.
+    pub fn preds(&self, b: Block) -> &[Block] {
+        &self.preds[b.index()]
+    }
+
+    /// Blocks in reverse postorder (reachable blocks only).
+    pub fn reverse_postorder(&self) -> &[Block] {
+        &self.rpo
+    }
+
+    /// The reverse-postorder number of `b`, or `usize::MAX` if unreachable.
+    pub fn rpo_number(&self, b: Block) -> usize {
+        self.rpo_index[b.index()]
+    }
+
+    /// Whether `b` is reachable from the entry.
+    pub fn is_reachable(&self, b: Block) -> bool {
+        self.rpo_index[b.index()] != usize::MAX
+    }
+
+    /// Number of blocks in the underlying function.
+    pub fn num_blocks(&self) -> usize {
+        self.succs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdgc_ir::{CmpOp, FunctionBuilder, RegClass};
+
+    /// entry -> header -> (body -> header | exit)
+    fn loop_fn() -> pdgc_ir::Function {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let header = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        b.jump(header);
+        b.switch_to(header);
+        let z = b.iconst(0);
+        b.branch(CmpOp::Ne, p, z, body, exit);
+        b.switch_to(body);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(Some(p));
+        b.finish()
+    }
+
+    #[test]
+    fn preds_and_succs() {
+        let f = loop_fn();
+        let cfg = Cfg::compute(&f);
+        let header = Block::new(1);
+        let body = Block::new(2);
+        let exit = Block::new(3);
+        assert_eq!(cfg.succs(Block::ENTRY), &[header]);
+        assert_eq!(cfg.preds(header), &[Block::ENTRY, body]);
+        assert_eq!(cfg.succs(header), &[body, exit]);
+        assert_eq!(cfg.preds(exit), &[header]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_respects_forward_edges() {
+        let f = loop_fn();
+        let cfg = Cfg::compute(&f);
+        let rpo = cfg.reverse_postorder();
+        assert_eq!(rpo[0], Block::ENTRY);
+        assert!(cfg.rpo_number(Block::new(1)) < cfg.rpo_number(Block::new(2)));
+        assert!(cfg.rpo_number(Block::new(1)) < cfg.rpo_number(Block::new(3)));
+        assert_eq!(rpo.len(), 4);
+    }
+
+    #[test]
+    fn unreachable_block_excluded_from_rpo() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        b.ret(None);
+        let dead = b.create_block();
+        b.switch_to(dead);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.reverse_postorder().len(), 1);
+    }
+}

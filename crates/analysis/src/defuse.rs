@@ -1,0 +1,97 @@
+//! Definition and use sites per virtual register.
+
+use pdgc_ir::{Block, Function, VReg};
+
+/// A reference to one instruction position within a function.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct InstRef {
+    /// The containing block.
+    pub block: Block,
+    /// Index of the instruction within the block body.
+    pub index: usize,
+}
+
+/// Per-register definition and use sites.
+///
+/// The paper's cost model (Appendix) sums costs over `Using(V)` and
+/// `Defining(V)` — exactly the site lists recorded here.
+#[derive(Clone, Debug)]
+pub struct DefUse {
+    defs: Vec<Vec<InstRef>>,
+    uses: Vec<Vec<InstRef>>,
+}
+
+impl DefUse {
+    /// Scans the function (φs must be lowered) and records every def and
+    /// use site of every virtual register.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function still contains φ-functions.
+    pub fn compute(func: &Function) -> Self {
+        let n = func.num_vregs();
+        let mut defs = vec![Vec::new(); n];
+        let mut uses = vec![Vec::new(); n];
+        for b in func.block_ids() {
+            assert!(
+                func.block(b).phis.is_empty(),
+                "DefUse requires lowered phis"
+            );
+            for (i, inst) in func.block(b).insts.iter().enumerate() {
+                let r = InstRef { block: b, index: i };
+                if let Some(d) = inst.def() {
+                    defs[d.index()].push(r);
+                }
+                inst.visit_uses(|u| uses[u.index()].push(r));
+            }
+        }
+        DefUse { defs, uses }
+    }
+
+    /// Definition sites of `v` (empty for parameters).
+    pub fn defs(&self, v: VReg) -> &[InstRef] {
+        &self.defs[v.index()]
+    }
+
+    /// Use sites of `v`. An instruction using `v` twice appears twice.
+    pub fn uses(&self, v: VReg) -> &[InstRef] {
+        &self.uses[v.index()]
+    }
+
+    /// Whether `v` is never defined or used.
+    pub fn is_unused(&self, v: VReg) -> bool {
+        self.defs[v.index()].is_empty() && self.uses[v.index()].is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdgc_ir::{BinOp, FunctionBuilder, RegClass};
+
+    #[test]
+    fn records_defs_and_uses() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let x = b.bin(BinOp::Add, p, p);
+        b.ret(Some(x));
+        let f = b.finish();
+        let du = DefUse::compute(&f);
+        assert!(du.defs(p).is_empty());
+        assert_eq!(du.uses(p).len(), 2); // used twice by the add
+        assert_eq!(du.defs(x).len(), 1);
+        assert_eq!(du.uses(x).len(), 1);
+        assert_eq!(du.defs(x)[0].index, 0);
+        assert_eq!(du.uses(x)[0].index, 1);
+    }
+
+    #[test]
+    fn unused_register() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        b.ret(None);
+        let mut f = b.finish();
+        let v = f.new_vreg(RegClass::Int);
+        let du = DefUse::compute(&f);
+        assert!(du.is_unused(v));
+    }
+}

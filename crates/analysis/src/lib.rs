@@ -1,0 +1,31 @@
+//! Control-flow and dataflow analyses over the [`pdgc_ir`] IR.
+//!
+//! These are the analyses the register allocator of *Preference-Directed
+//! Graph Coloring* (PLDI 2002) relies on:
+//!
+//! * [`Cfg`] — predecessor/successor maps and reverse postorder;
+//! * [`Dominators`] — immediate-dominator tree (Cooper–Harvey–Kennedy);
+//! * [`Loops`] — natural loops, per-block loop depth, and the paper's
+//!   execution-frequency estimate `Freq_Fact = 10^depth`;
+//! * [`Liveness`] — iterative backward liveness with per-instruction
+//!   queries, plus live-across-call information for volatile/non-volatile
+//!   preferences;
+//! * [`DefUse`] — definition and use sites per virtual register;
+//! * [`BitSet`] — the dense bit set used throughout.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitset;
+mod cfg;
+mod defuse;
+mod dom;
+mod liveness;
+mod loops;
+
+pub use bitset::BitSet;
+pub use cfg::Cfg;
+pub use defuse::{DefUse, InstRef};
+pub use dom::Dominators;
+pub use liveness::{CallCrossing, Liveness};
+pub use loops::{Loops, DEFAULT_LOOP_FREQ_FACTOR};

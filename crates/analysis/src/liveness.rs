@@ -1,0 +1,291 @@
+//! Iterative backward liveness analysis.
+
+use crate::{BitSet, Cfg, Loops};
+use pdgc_ir::{Block, Function, Inst, VReg};
+
+/// Block-level live-in/live-out sets with per-instruction queries.
+///
+/// Computed by a standard backward iterative fixpoint over the CFG.
+/// Requires φ-functions to be lowered first (the allocator pipeline always
+/// lowers them before analysis).
+#[derive(Clone, Debug)]
+pub struct Liveness {
+    live_in: Vec<BitSet>,
+    live_out: Vec<BitSet>,
+    num_vregs: usize,
+}
+
+impl Liveness {
+    /// Runs the fixpoint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the function still contains φ-functions.
+    pub fn compute(func: &Function, cfg: &Cfg) -> Self {
+        let nb = func.num_blocks();
+        let nv = func.num_vregs();
+        for b in func.block_ids() {
+            assert!(
+                func.block(b).phis.is_empty(),
+                "Liveness requires lowered phis"
+            );
+        }
+        // gen[b]: used before any def in b; kill[b]: defined in b.
+        let mut gen = vec![BitSet::new(nv); nb];
+        let mut kill = vec![BitSet::new(nv); nb];
+        for b in func.block_ids() {
+            let (g, k) = (&mut gen[b.index()], &mut kill[b.index()]);
+            for inst in &func.block(b).insts {
+                inst.visit_uses(|u| {
+                    if !k.contains(u.index()) {
+                        g.insert(u.index());
+                    }
+                });
+                if let Some(d) = inst.def() {
+                    k.insert(d.index());
+                }
+            }
+        }
+        let mut live_in = vec![BitSet::new(nv); nb];
+        let mut live_out = vec![BitSet::new(nv); nb];
+        // Iterate in postorder (reverse of RPO) for fast convergence.
+        let order: Vec<Block> = cfg.reverse_postorder().iter().rev().copied().collect();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &order {
+                let mut out = BitSet::new(nv);
+                for &s in cfg.succs(b) {
+                    out.union_with(&live_in[s.index()]);
+                }
+                let mut inn = out.clone();
+                inn.subtract(&kill[b.index()]);
+                inn.union_with(&gen[b.index()]);
+                if out != live_out[b.index()] {
+                    live_out[b.index()] = out;
+                    changed = true;
+                }
+                if inn != live_in[b.index()] {
+                    live_in[b.index()] = inn;
+                    changed = true;
+                }
+            }
+        }
+        Liveness {
+            live_in,
+            live_out,
+            num_vregs: nv,
+        }
+    }
+
+    /// Registers live at entry to `b`.
+    pub fn live_in(&self, b: Block) -> &BitSet {
+        &self.live_in[b.index()]
+    }
+
+    /// Registers live at exit of `b`.
+    pub fn live_out(&self, b: Block) -> &BitSet {
+        &self.live_out[b.index()]
+    }
+
+    /// Number of virtual registers the analysis covers.
+    pub fn num_vregs(&self) -> usize {
+        self.num_vregs
+    }
+
+    /// Walks `b`'s instructions backward, invoking `f(index, inst, live_after)`
+    /// where `live_after` holds the registers live immediately *after* the
+    /// instruction executes.
+    pub fn for_each_inst_backward(
+        &self,
+        func: &Function,
+        b: Block,
+        mut f: impl FnMut(usize, &Inst, &BitSet),
+    ) {
+        let mut live = self.live_out[b.index()].clone();
+        for (i, inst) in func.block(b).insts.iter().enumerate().rev() {
+            f(i, inst, &live);
+            if let Some(d) = inst.def() {
+                live.remove(d.index());
+            }
+            inst.visit_uses(|u| {
+                live.insert(u.index());
+            });
+        }
+    }
+
+    /// Computes, for every virtual register, the call sites it is live
+    /// across (live after the call and not defined by it).
+    pub fn call_crossings(&self, func: &Function) -> CallCrossing {
+        let mut crossings = vec![Vec::new(); self.num_vregs];
+        for b in func.block_ids() {
+            self.for_each_inst_backward(func, b, |i, inst, live_after| {
+                if inst.is_call() {
+                    let def = inst.def();
+                    for v in live_after.iter() {
+                        if def.map(|d| d.index()) != Some(v) {
+                            crossings[v].push((b, i));
+                        }
+                    }
+                }
+            });
+        }
+        CallCrossing { crossings }
+    }
+
+    /// The maximum number of simultaneously live registers of the given
+    /// class anywhere in the function (a register-pressure estimate).
+    pub fn max_pressure(&self, func: &Function, class: pdgc_ir::RegClass) -> usize {
+        let mut max = 0;
+        for b in func.block_ids() {
+            let count = |set: &BitSet| {
+                set.iter()
+                    .filter(|&v| func.class_of(VReg::new(v)) == class)
+                    .count()
+            };
+            max = max.max(count(self.live_in(b)));
+            self.for_each_inst_backward(func, b, |_, _, live| {
+                max = max.max(count(live));
+            });
+        }
+        max
+    }
+}
+
+/// For each register, the call sites it is live across.
+///
+/// Drives the paper's third preference type ("prefers non-volatile") and the
+/// `Call_Cost` term of the Appendix.
+#[derive(Clone, Debug)]
+pub struct CallCrossing {
+    crossings: Vec<Vec<(Block, usize)>>,
+}
+
+impl CallCrossing {
+    /// The call sites `v` is live across.
+    pub fn sites(&self, v: VReg) -> &[(Block, usize)] {
+        &self.crossings[v.index()]
+    }
+
+    /// Whether `v` is live across any call.
+    pub fn crosses_any(&self, v: VReg) -> bool {
+        !self.crossings[v.index()].is_empty()
+    }
+
+    /// The frequency-weighted number of calls `v` is live across
+    /// (`Σ Freq_Fact(Call(V))` from the Appendix).
+    pub fn weighted(&self, v: VReg, loops: &Loops) -> u64 {
+        self.crossings[v.index()]
+            .iter()
+            .map(|&(b, _)| loops.freq(b))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dominators;
+    use pdgc_ir::{BinOp, CmpOp, FunctionBuilder, RegClass};
+
+    #[test]
+    fn straight_line_liveness() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let x = b.bin_imm(BinOp::Add, p, 1);
+        let y = b.bin(BinOp::Mul, x, p);
+        b.ret(Some(y));
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        assert!(lv.live_in(Block::ENTRY).contains(p.index()));
+        assert!(!lv.live_in(Block::ENTRY).contains(x.index()));
+        assert!(lv.live_out(Block::ENTRY).is_empty());
+        // After the add, p is still live (used by mul) and x is live.
+        let mut seen = Vec::new();
+        lv.for_each_inst_backward(&f, Block::ENTRY, |i, _, live| {
+            seen.push((i, live.iter().collect::<Vec<_>>()));
+        });
+        seen.reverse();
+        assert_eq!(seen[0].1, vec![p.index(), x.index()]); // after add
+        assert_eq!(seen[1].1, vec![y.index()]); // after mul
+        assert_eq!(seen[2].1, Vec::<usize>::new()); // after ret
+    }
+
+    #[test]
+    fn loop_carried_value_live_around_backedge() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let header = b.create_block();
+        let exit = b.create_block();
+        b.jump(header);
+        b.switch_to(header);
+        let z = b.iconst(0);
+        b.branch(CmpOp::Ne, p, z, header, exit);
+        b.switch_to(exit);
+        b.ret(Some(p));
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        assert!(lv.live_in(header).contains(p.index()));
+        assert!(lv.live_out(header).contains(p.index()));
+    }
+
+    #[test]
+    fn call_crossing_detected() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let t = b.call("g", vec![], Some(RegClass::Int)).unwrap();
+        let r = b.bin(BinOp::Add, t, p);
+        b.ret(Some(r));
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let cc = lv.call_crossings(&f);
+        // p crosses the call; t is defined by it; r doesn't exist yet.
+        assert!(cc.crosses_any(p));
+        assert!(!cc.crosses_any(t));
+        assert!(!cc.crosses_any(r));
+        assert_eq!(cc.sites(p).len(), 1);
+    }
+
+    #[test]
+    fn weighted_crossing_uses_loop_freq() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let header = b.create_block();
+        let exit = b.create_block();
+        b.jump(header);
+        b.switch_to(header);
+        b.call("g", vec![], None);
+        let z = b.iconst(0);
+        b.branch(CmpOp::Ne, p, z, header, exit);
+        b.switch_to(exit);
+        b.ret(Some(p));
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let cc = lv.call_crossings(&f);
+        let dom = Dominators::compute(&cfg);
+        let loops = Loops::compute(&cfg, &dom);
+        assert_eq!(cc.weighted(p, &loops), 10);
+    }
+
+    #[test]
+    fn max_pressure_counts_class() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int, RegClass::Float], None);
+        let p = b.param(0);
+        let q = b.param(1);
+        let a = b.bin_imm(BinOp::Add, p, 1);
+        let c = b.bin(BinOp::Add, a, p);
+        b.store(c, p, 0);
+        let d = b.bin(BinOp::FAdd, q, q);
+        b.store(d, p, 8);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        assert!(lv.max_pressure(&f, RegClass::Int) >= 2);
+        assert_eq!(lv.max_pressure(&f, RegClass::Float), 1);
+    }
+}

@@ -1,0 +1,179 @@
+//! Natural-loop detection and execution-frequency estimation.
+//!
+//! The paper's Appendix weights every cost by `Freq_Fact(I)`, "obtained by
+//! loop analysis": instructions outside loops get weight 1, and each level
+//! of loop nesting multiplies the weight by 10 (the Figure 7 example uses
+//! exactly `Freq_Fact = 10` inside the single loop). [`Loops`] reproduces
+//! that estimate from natural-loop structure.
+
+use crate::{Cfg, Dominators};
+use pdgc_ir::Block;
+
+/// The per-nesting-level frequency multiplier from the paper's Appendix.
+pub const DEFAULT_LOOP_FREQ_FACTOR: u64 = 10;
+
+/// Natural loops and per-block loop depth / frequency estimates.
+#[derive(Clone, Debug)]
+pub struct Loops {
+    depth: Vec<u32>,
+    headers: Vec<Block>,
+    freq_factor: u64,
+}
+
+impl Loops {
+    /// Detects natural loops (back edges `t -> h` where `h` dominates `t`)
+    /// and computes each block's nesting depth, using the paper's default
+    /// frequency factor of 10 per level.
+    pub fn compute(cfg: &Cfg, dom: &Dominators) -> Self {
+        Self::compute_with_factor(cfg, dom, DEFAULT_LOOP_FREQ_FACTOR)
+    }
+
+    /// As [`compute`](Self::compute) with a custom per-level factor.
+    pub fn compute_with_factor(cfg: &Cfg, dom: &Dominators, freq_factor: u64) -> Self {
+        let n = cfg.num_blocks();
+        let mut depth = vec![0u32; n];
+        let mut headers = Vec::new();
+        for b in (0..n).map(Block::new) {
+            if !cfg.is_reachable(b) {
+                continue;
+            }
+            for &s in cfg.succs(b) {
+                if dom.dominates(s, b) {
+                    // Back edge b -> s: the natural loop is s plus all
+                    // blocks that reach b without passing through s.
+                    if !headers.contains(&s) {
+                        headers.push(s);
+                    }
+                    let mut in_loop = vec![false; n];
+                    in_loop[s.index()] = true;
+                    let mut stack = Vec::new();
+                    if !in_loop[b.index()] {
+                        in_loop[b.index()] = true;
+                        stack.push(b);
+                    }
+                    while let Some(x) = stack.pop() {
+                        for &p in cfg.preds(x) {
+                            if !in_loop[p.index()] {
+                                in_loop[p.index()] = true;
+                                stack.push(p);
+                            }
+                        }
+                    }
+                    for (i, &inl) in in_loop.iter().enumerate() {
+                        if inl {
+                            depth[i] += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Loops {
+            depth,
+            headers,
+            freq_factor,
+        }
+    }
+
+    /// The loop-nesting depth of `b` (0 = not in a loop).
+    ///
+    /// A block inside several distinct natural loops counts each of them,
+    /// so irreducible or shared-header regions may report conservative
+    /// (higher) depths.
+    pub fn depth(&self, b: Block) -> u32 {
+        self.depth[b.index()]
+    }
+
+    /// The paper's `Freq_Fact` for instructions in `b`: `factor^depth`,
+    /// saturating. Depth is capped at 9 levels to keep weights finite.
+    pub fn freq(&self, b: Block) -> u64 {
+        let d = self.depth[b.index()].min(9);
+        self.freq_factor.saturating_pow(d)
+    }
+
+    /// The detected loop headers (one entry per natural loop header).
+    pub fn headers(&self) -> &[Block] {
+        &self.headers
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdgc_ir::{CmpOp, FunctionBuilder, RegClass};
+
+    /// entry -> h1 -> h2 -> body -> h2 | h1-exit ...
+    /// Builds a doubly nested loop.
+    fn nested_loops() -> pdgc_ir::Function {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], None);
+        let p = b.param(0);
+        let h1 = b.create_block();
+        let h2 = b.create_block();
+        let body = b.create_block();
+        let latch1 = b.create_block();
+        let exit = b.create_block();
+        let z = b.iconst(0);
+        b.jump(h1);
+        b.switch_to(h1);
+        b.branch(CmpOp::Ne, p, z, h2, exit);
+        b.switch_to(h2);
+        b.branch(CmpOp::Ne, p, z, body, latch1);
+        b.switch_to(body);
+        b.jump(h2); // back edge of inner loop
+        b.switch_to(latch1);
+        b.jump(h1); // back edge of outer loop
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn nesting_depths() {
+        let f = nested_loops();
+        let cfg = Cfg::compute(&f);
+        let dom = Dominators::compute(&cfg);
+        let loops = Loops::compute(&cfg, &dom);
+        assert_eq!(loops.depth(Block::ENTRY), 0);
+        assert_eq!(loops.depth(Block::new(1)), 1); // h1
+        assert_eq!(loops.depth(Block::new(2)), 2); // h2
+        assert_eq!(loops.depth(Block::new(3)), 2); // body
+        assert_eq!(loops.depth(Block::new(4)), 1); // latch1
+        assert_eq!(loops.depth(Block::new(5)), 0); // exit
+        assert_eq!(loops.freq(Block::new(3)), 100);
+        assert_eq!(loops.freq(Block::new(5)), 1);
+        assert_eq!(loops.headers().len(), 2);
+    }
+
+    #[test]
+    fn straight_line_has_no_loops() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let dom = Dominators::compute(&cfg);
+        let loops = Loops::compute(&cfg, &dom);
+        assert_eq!(loops.depth(Block::ENTRY), 0);
+        assert_eq!(loops.freq(Block::ENTRY), 1);
+        assert!(loops.headers().is_empty());
+    }
+
+    #[test]
+    fn custom_factor() {
+        let f = nested_loops();
+        let cfg = Cfg::compute(&f);
+        let dom = Dominators::compute(&cfg);
+        let loops = Loops::compute_with_factor(&cfg, &dom, 2);
+        assert_eq!(loops.freq(Block::new(3)), 4);
+    }
+
+    #[test]
+    fn deep_nesting_saturates_not_panics() {
+        // Manually fake a very deep nest by chaining self-loops is hard;
+        // instead check the cap arithmetic directly.
+        let f = nested_loops();
+        let cfg = Cfg::compute(&f);
+        let dom = Dominators::compute(&cfg);
+        let mut loops = Loops::compute(&cfg, &dom);
+        loops.depth[1] = 40;
+        assert_eq!(loops.freq(Block::new(1)), 10u64.pow(9));
+    }
+}

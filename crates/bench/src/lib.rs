@@ -1,0 +1,150 @@
+//! Benchmark harness shared by the figure-regeneration binaries
+//! (`fig7`, `fig9`, `fig10`, `fig11`) and the Criterion benches.
+//!
+//! The quantities mirror the paper's §6:
+//!
+//! * **eliminated moves** and **generated spill code**, per register
+//!   class, ratioed against the Chaitin-aggressive base (Figure 9);
+//! * **elapsed time** as machine-interpreter dynamic cycles summed over a
+//!   workload (Figures 10 and 11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pdgc_core::{AllocStats, RegisterAllocator};
+use pdgc_sim::{run_mach, DEFAULT_FUEL};
+use pdgc_target::TargetDesc;
+use pdgc_workloads::{default_args, Workload};
+
+/// Aggregated results of allocating and executing one workload with one
+/// allocator.
+#[derive(Clone, Debug)]
+pub struct WorkloadResult {
+    /// Allocator name.
+    pub allocator: &'static str,
+    /// Workload name.
+    pub workload: String,
+    /// Summed allocation statistics.
+    pub stats: AllocStats,
+    /// Summed dynamic cycles over all functions (simulated elapsed time).
+    pub cycles: u64,
+}
+
+/// Allocates and executes every function of `workload`.
+///
+/// # Panics
+///
+/// Panics if allocation or execution fails (the differential test suite
+/// guarantees they do not for the shipped workloads and targets).
+pub fn run_workload(
+    alloc: &dyn RegisterAllocator,
+    workload: &Workload,
+    target: &TargetDesc,
+) -> WorkloadResult {
+    let mut stats = AllocStats::default();
+    let mut cycles = 0u64;
+    for func in &workload.funcs {
+        let out = alloc
+            .allocate(func, target)
+            .unwrap_or_else(|e| panic!("{} failed on {}: {e}", alloc.name(), func.name));
+        stats.accumulate(&out.stats);
+        let exec = run_mach(&out.mach, target, &default_args(func), DEFAULT_FUEL)
+            .unwrap_or_else(|e| panic!("{} produced diverging {}: {e}", alloc.name(), func.name));
+        cycles += exec.cycles;
+    }
+    WorkloadResult {
+        allocator: alloc.name(),
+        workload: workload.name.clone(),
+        stats,
+        cycles,
+    }
+}
+
+/// The geometric mean of positive values.
+pub fn geo_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return f64::NAN;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Formats a ratio, using `-` for undefined (0/0) entries.
+pub fn fmt_ratio(num: usize, den: usize) -> String {
+    if den == 0 {
+        if num == 0 {
+            "    -".to_string()
+        } else {
+            format!("{:>5}", format!("+{num}"))
+        }
+    } else {
+        format!("{:5.2}", num as f64 / den as f64)
+    }
+}
+
+/// Prints an aligned table: a header row then data rows, first column
+/// left-aligned and 14 wide, the rest right-aligned and 12 wide.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let head: String = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| {
+            if i == 0 {
+                format!("{h:<14}")
+            } else {
+                format!("{h:>14}")
+            }
+        })
+        .collect();
+    println!("{head}");
+    println!("{}", "-".repeat(head.len()));
+    for row in rows {
+        let line: String = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                if i == 0 {
+                    format!("{c:<14}")
+                } else {
+                    format!("{c:>14}")
+                }
+            })
+            .collect();
+        println!("{line}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geo_mean_of_equal_values() {
+        assert!((geo_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn geo_mean_mixed() {
+        assert!((geo_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ratio_formatting() {
+        assert_eq!(fmt_ratio(0, 0).trim(), "-");
+        assert_eq!(fmt_ratio(5, 10).trim(), "0.50");
+    }
+
+    #[test]
+    fn run_workload_smoke() {
+        use pdgc_core::PreferenceAllocator;
+        use pdgc_target::PressureModel;
+        let prof = &pdgc_workloads::specjvm_suite()[6]; // jack: smallest
+        let mut w = pdgc_workloads::generate(prof);
+        w.funcs.truncate(2);
+        let target = TargetDesc::ia64_like(PressureModel::Middle);
+        let r = run_workload(&PreferenceAllocator::full(), &w, &target);
+        assert!(r.cycles > 0);
+        assert!(r.stats.copies_before > 0);
+    }
+}

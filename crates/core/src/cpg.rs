@@ -1,0 +1,385 @@
+//! The Coloring Precedence Graph (CPG) — §5.2 of the paper.
+//!
+//! Simplification produces a *total* order of register selection. That
+//! order is sufficient for colorability but needlessly restrictive: many
+//! nodes could be selected earlier or later without losing the guarantee.
+//! The CPG relaxes the total order into a *partial* order — a DAG over live
+//! ranges, with `top` and `bottom` sentinels — such that **any**
+//! topological order preserves the colorability obtained by simplification.
+//! The preference-directed select phase ([`crate::select`]) then walks the
+//! DAG frontier, free to pick whichever ready node has the most at stake.
+//!
+//! Construction follows the paper's nine steps: replay the simplification
+//! stack against a working interference graph (physical-register nodes
+//! removed), detect which removals *enable* which ("removing one enables
+//! the other's removal"), and record those enabling constraints as edges,
+//! keeping the DAG transitively reduced.
+
+use crate::ifg::InterferenceGraph;
+use crate::node::NodeId;
+
+/// The Coloring Precedence Graph over one class's live-range nodes.
+///
+/// An edge `u → v` means `u` must be selected (colored) before `v`.
+/// `from_top(n)` marks edges from the `top` sentinel; `to_bottom(n)` marks
+/// edges to the `bottom` sentinel.
+#[derive(Clone, Debug)]
+pub struct Cpg {
+    k: usize,
+    present: Vec<bool>,
+    succs: Vec<Vec<NodeId>>,
+    preds: Vec<Vec<NodeId>>,
+    from_top: Vec<bool>,
+    to_bottom: Vec<bool>,
+}
+
+impl Cpg {
+    /// Builds the CPG from the (fully restored) interference graph and a
+    /// simplification result.
+    ///
+    /// * `stack` — nodes in removal order (the reverse of the coloring
+    ///   order), as produced by [`crate::simplify::simplify`];
+    /// * `optimistic` — the potential-spill subset of `stack` (step 4
+    ///   creates them eagerly but unready);
+    /// * `k` — the number of colors.
+    ///
+    /// Precolored and merged nodes never appear in the CPG; the working
+    /// graph counts only live-range neighbors (the paper's step 2 removes
+    /// physical-register nodes).
+    pub fn build(
+        ifg: &InterferenceGraph,
+        stack: &[NodeId],
+        optimistic: &[NodeId],
+        k: usize,
+    ) -> Cpg {
+        let n = ifg.num_nodes();
+        let mut cpg = Cpg {
+            k,
+            present: vec![false; n],
+            succs: vec![Vec::new(); n],
+            preds: vec![Vec::new(); n],
+            from_top: vec![false; n],
+            to_bottom: vec![false; n],
+        };
+
+        let is_lr = |x: NodeId| !ifg.is_precolored(x) && !ifg.is_merged(x);
+        // Working interference graph: live-range nodes of the stack.
+        let mut removed = vec![false; n];
+        let lr_neighbors = |x: NodeId, removed: &[bool]| -> Vec<NodeId> {
+            ifg.neighbors(x)
+                .into_iter()
+                .filter(|&y| is_lr(y) && !removed[y.index()])
+                .collect()
+        };
+        let mut degree = vec![0usize; n];
+        for &x in stack {
+            degree[x.index()] = lr_neighbors(x, &removed).len();
+        }
+
+        let mut ready = vec![false; n];
+
+        // Step 4: initial low-degree nodes, then spilled (optimistic) nodes.
+        for &x in stack {
+            if degree[x.index()] < k {
+                cpg.present[x.index()] = true;
+                cpg.to_bottom[x.index()] = true;
+                ready[x.index()] = true;
+            }
+        }
+        for &x in optimistic {
+            if !cpg.present[x.index()] {
+                cpg.present[x.index()] = true;
+                cpg.to_bottom[x.index()] = true;
+                // not ready
+            }
+        }
+
+        // Steps 5–9: replay removals.
+        for &popped in stack {
+            removed[popped.index()] = true;
+            cpg.present[popped.index()] = true;
+            let neighbors = lr_neighbors(popped, &removed);
+            for &x in &neighbors {
+                cpg.present[x.index()] = true;
+            }
+            let non_ready: Vec<NodeId> = neighbors
+                .iter()
+                .copied()
+                .filter(|&x| !ready[x.index()])
+                .collect();
+            if non_ready.is_empty() {
+                cpg.from_top[popped.index()] = true;
+            } else {
+                // Transitive reduction, exploiting the construction order:
+                // all edges point *into* the node being popped, so (1) no
+                // path can reach `popped` yet, and (2) the unpopped sources
+                // cannot reach each other (their successors are all
+                // previously-popped nodes). The only reducible edges are
+                // existing `x → w` made transitive by the new `x → popped`
+                // with `popped →* w` — computable with ONE reachability
+                // sweep from `popped`.
+                let reach = cpg.reachable_set(popped);
+                for x in non_ready {
+                    cpg.succs[x.index()].retain(|&w| {
+                        let keep = !reach[w.index()];
+                        if !keep {
+                            cpg.preds[w.index()].retain(|&p| p != x);
+                        }
+                        keep
+                    });
+                    cpg.succs[x.index()].push(popped);
+                    cpg.preds[popped.index()].push(x);
+                }
+            }
+            // Step 8: removal may make neighbors low-degree.
+            for &x in &neighbors {
+                degree[x.index()] -= 1;
+                if degree[x.index()] < k {
+                    ready[x.index()] = true;
+                }
+            }
+        }
+        cpg
+    }
+
+    /// Marks every node reachable from `from` (inclusive).
+    fn reachable_set(&self, from: NodeId) -> Vec<bool> {
+        let mut seen = vec![false; self.succs.len()];
+        seen[from.index()] = true;
+        let mut stack = vec![from];
+        while let Some(x) = stack.pop() {
+            for &y in &self.succs[x.index()] {
+                if !seen[y.index()] {
+                    seen[y.index()] = true;
+                    stack.push(y);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Whether `to` is reachable from `from` along CPG edges (reflexive).
+    pub fn reachable(&self, from: NodeId, to: NodeId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut seen = vec![false; self.succs.len()];
+        let mut stack = vec![from];
+        seen[from.index()] = true;
+        while let Some(x) = stack.pop() {
+            for &y in &self.succs[x.index()] {
+                if y == to {
+                    return true;
+                }
+                if !seen[y.index()] {
+                    seen[y.index()] = true;
+                    stack.push(y);
+                }
+            }
+        }
+        false
+    }
+
+    /// The number of colors the CPG was built for.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Whether `n` participates in the CPG.
+    pub fn contains(&self, n: NodeId) -> bool {
+        self.present[n.index()]
+    }
+
+    /// All CPG nodes, in id order.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.present
+            .iter()
+            .enumerate()
+            .filter(|(_, &p)| p)
+            .map(|(i, _)| NodeId::new(i))
+    }
+
+    /// Successors of `n` (excluding `bottom`).
+    pub fn succs(&self, n: NodeId) -> &[NodeId] {
+        &self.succs[n.index()]
+    }
+
+    /// Predecessors of `n` (excluding `top`).
+    pub fn preds(&self, n: NodeId) -> &[NodeId] {
+        &self.preds[n.index()]
+    }
+
+    /// Whether `top → n` exists.
+    pub fn from_top(&self, n: NodeId) -> bool {
+        self.from_top[n.index()]
+    }
+
+    /// Whether `n → bottom` exists.
+    pub fn to_bottom(&self, n: NodeId) -> bool {
+        self.to_bottom[n.index()]
+    }
+
+    /// Whether the explicit edge `u → v` exists.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        self.succs[u.index()].contains(&v)
+    }
+
+    /// The initial ready frontier: the successors of `top`.
+    pub fn initial_queue(&self) -> Vec<NodeId> {
+        self.nodes().filter(|&n| self.preds(n).is_empty()).collect()
+    }
+
+    /// Checks acyclicity (used by property tests).
+    pub fn is_acyclic(&self) -> bool {
+        let n = self.succs.len();
+        let mut indeg = vec![0usize; n];
+        for u in self.nodes() {
+            for &v in self.succs(u) {
+                indeg[v.index()] += 1;
+            }
+        }
+        let mut queue: Vec<NodeId> = self.nodes().filter(|&x| indeg[x.index()] == 0).collect();
+        let mut seen = 0;
+        while let Some(u) = queue.pop() {
+            seen += 1;
+            for &v in self.succs(u) {
+                indeg[v.index()] -= 1;
+                if indeg[v.index()] == 0 {
+                    queue.push(v);
+                }
+            }
+        }
+        seen == self.nodes().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// The paper's Figure 7 interference graph over v0..v4 (nodes 0..4),
+    /// no precolored nodes (the WIG drops them anyway).
+    fn figure7_ifg() -> InterferenceGraph {
+        let mut g = InterferenceGraph::new(5, 0);
+        g.add_edge(n(0), n(1)); // v0 - v1
+        g.add_edge(n(0), n(2)); // v0 - v2
+        g.add_edge(n(1), n(2)); // v1 - v2
+        g.add_edge(n(1), n(3)); // v1 - v3
+        g.add_edge(n(2), n(3)); // v2 - v3
+        g.add_edge(n(3), n(4)); // v3 - v4
+        g
+    }
+
+    /// Figure 7(d)/(e): the paper's stack (removal order v0, v4, v1, v2,
+    /// v3) yields exactly the CPG of Figure 7(e) for K = 3.
+    #[test]
+    fn figure7_cpg_k3() {
+        let g = figure7_ifg();
+        let stack = vec![n(0), n(4), n(1), n(2), n(3)];
+        let cpg = Cpg::build(&g, &stack, &[], 3);
+
+        // v0, v4 are the initial ready nodes pointing at bottom.
+        assert!(cpg.to_bottom(n(0)));
+        assert!(cpg.to_bottom(n(4)));
+        assert!(!cpg.to_bottom(n(1)));
+        // Edges of Figure 7(e).
+        assert!(cpg.has_edge(n(1), n(0)));
+        assert!(cpg.has_edge(n(2), n(0)));
+        assert!(cpg.has_edge(n(3), n(4)));
+        // Top feeds v1, v2, v3.
+        assert!(cpg.from_top(n(1)));
+        assert!(cpg.from_top(n(2)));
+        assert!(cpg.from_top(n(3)));
+        assert!(!cpg.from_top(n(0)));
+        assert!(!cpg.from_top(n(4)));
+        // And nothing else.
+        let total_edges: usize = cpg.nodes().map(|x| cpg.succs(x).len()).sum();
+        assert_eq!(total_edges, 3);
+        assert_eq!(cpg.initial_queue(), vec![n(1), n(2), n(3)]);
+        assert!(cpg.is_acyclic());
+    }
+
+    /// Figure 7(f): with K ≥ 4 every node is initially low-degree, so the
+    /// order collapses — top feeds everything, everything points at bottom.
+    #[test]
+    fn figure7_cpg_k4_fully_parallel() {
+        let g = figure7_ifg();
+        let stack = vec![n(0), n(4), n(1), n(2), n(3)];
+        let cpg = Cpg::build(&g, &stack, &[], 4);
+        for i in 0..5 {
+            assert!(cpg.from_top(n(i)), "v{i} should hang off top");
+            assert!(cpg.to_bottom(n(i)), "v{i} should point at bottom");
+            assert!(cpg.succs(n(i)).is_empty());
+        }
+        assert_eq!(cpg.initial_queue().len(), 5);
+    }
+
+    /// A different (also valid) simplification order yields a different
+    /// but still colorability-preserving partial order.
+    #[test]
+    fn alternative_stack_still_acyclic_and_covering() {
+        let g = figure7_ifg();
+        let stack = vec![n(0), n(1), n(2), n(3), n(4)];
+        let cpg = Cpg::build(&g, &stack, &[], 3);
+        assert!(cpg.is_acyclic());
+        assert_eq!(cpg.nodes().count(), 5);
+        // v0 was removed while v1, v2 were significant: both precede it.
+        assert!(cpg.has_edge(n(1), n(0)));
+        assert!(cpg.has_edge(n(2), n(0)));
+    }
+
+    /// Optimistically spilled nodes join the CPG unready: they acquire
+    /// predecessors like everyone else but never gate others from the
+    /// start.
+    #[test]
+    fn optimistic_node_enters_unready() {
+        // K4 complete graph with K=3: one node spills optimistically.
+        let mut g = InterferenceGraph::new(4, 0);
+        for a in 0..4 {
+            for b in (a + 1)..4 {
+                g.add_edge(n(a), n(b));
+            }
+        }
+        // Stack as Briggs would produce: 0 removed blocked (optimistic),
+        // then 1, 2, 3.
+        let stack = vec![n(0), n(1), n(2), n(3)];
+        let cpg = Cpg::build(&g, &stack, &[n(0)], 3);
+        assert!(cpg.to_bottom(n(0)));
+        assert!(cpg.is_acyclic());
+        // 0 is unready at its creation, so when it is popped its
+        // (non-ready) neighbors point at it... all of 1,2,3 become ready
+        // after 0's removal (degree 2 < 3), so they are pointed from top.
+        assert!(cpg.from_top(n(1)));
+        assert!(cpg.from_top(n(2)));
+        assert!(cpg.from_top(n(3)));
+        // 0 has predecessors 1, 2, 3 — wait: edges point from non-ready
+        // neighbors *to the popped node*; when 0 popped, neighbors 1, 2, 3
+        // are non-ready (degree 3), so 1→0, 2→0, 3→0.
+        assert_eq!(cpg.preds(n(0)).len(), 3);
+        assert_eq!(cpg.initial_queue(), vec![n(1), n(2), n(3)]);
+    }
+
+    #[test]
+    fn transitive_reduction_drops_redundant_edge() {
+        // Path graph 0-1, 1-2, 0-2 (triangle) with K=1: removal order
+        // 0, 1, 2 forces chains; ensure no duplicate/transitive edges.
+        let mut g = InterferenceGraph::new(3, 0);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(0), n(2));
+        let stack = vec![n(0), n(1), n(2)];
+        let cpg = Cpg::build(&g, &stack, &[n(0), n(1), n(2)], 1);
+        // With K=1 nothing is ever ready: popping 0 adds 1→0 and 2→0;
+        // popping 1 adds 2→1. Edge 2→0 is now transitive (2→1→0) and must
+        // have been removed.
+        assert!(cpg.has_edge(n(1), n(0)));
+        assert!(cpg.has_edge(n(2), n(1)));
+        assert!(!cpg.has_edge(n(2), n(0)));
+        assert!(cpg.reachable(n(2), n(0)));
+        assert!(cpg.is_acyclic());
+    }
+}

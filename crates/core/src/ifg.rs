@@ -1,0 +1,296 @@
+//! The interference graph.
+//!
+//! Chaitin-style: nodes are allocation nodes (precolored registers and live
+//! ranges), edges join nodes that are simultaneously live. The graph
+//! supports the three mutations the allocators need:
+//!
+//! * **edge insertion** during construction;
+//! * **coalescing** — merging one node into another (aggressive and
+//!   conservative coalescers in [`crate::baselines`] use this);
+//! * **removal marks** with live degree tracking, driving simplification.
+
+use crate::node::NodeId;
+use pdgc_analysis::BitSet;
+
+/// An undirected interference graph over a dense node universe.
+#[derive(Clone, Debug)]
+pub struct InterferenceGraph {
+    num_phys: usize,
+    matrix: Vec<BitSet>,
+    adj: Vec<Vec<NodeId>>,
+    alias: Vec<NodeId>,
+    merged: Vec<bool>,
+    removed: Vec<bool>,
+    degree: Vec<usize>,
+}
+
+impl InterferenceGraph {
+    /// Creates a graph with `n` nodes, the first `num_phys` of which are
+    /// precolored. Distinct precolored nodes are made mutually interfering.
+    pub fn new(n: usize, num_phys: usize) -> Self {
+        let mut g = InterferenceGraph {
+            num_phys,
+            matrix: vec![BitSet::new(n); n],
+            adj: vec![Vec::new(); n],
+            alias: (0..n).map(NodeId::new).collect(),
+            merged: vec![false; n],
+            removed: vec![false; n],
+            degree: vec![0; n],
+        };
+        for a in 0..num_phys {
+            for b in (a + 1)..num_phys {
+                g.add_edge(NodeId::new(a), NodeId::new(b));
+            }
+        }
+        g
+    }
+
+    /// Number of nodes in the universe.
+    pub fn num_nodes(&self) -> usize {
+        self.matrix.len()
+    }
+
+    /// Number of precolored nodes.
+    pub fn num_phys(&self) -> usize {
+        self.num_phys
+    }
+
+    /// Whether `n` is precolored.
+    pub fn is_precolored(&self, n: NodeId) -> bool {
+        n.index() < self.num_phys
+    }
+
+    /// The representative of `n` after coalescing (`n` itself if unmerged).
+    pub fn rep(&self, n: NodeId) -> NodeId {
+        let mut cur = n;
+        while self.merged[cur.index()] {
+            cur = self.alias[cur.index()];
+        }
+        cur
+    }
+
+    /// Whether `n` has been merged into another node.
+    pub fn is_merged(&self, n: NodeId) -> bool {
+        self.merged[n.index()]
+    }
+
+    /// Whether `n` is currently removed (simplified away).
+    pub fn is_removed(&self, n: NodeId) -> bool {
+        self.removed[n.index()]
+    }
+
+    /// Adds an interference edge between the representatives of `a` and
+    /// `b`. Self-edges are ignored. Returns `true` if the edge is new.
+    pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
+        let (a, b) = (self.rep(a), self.rep(b));
+        if a == b || self.matrix[a.index()].contains(b.index()) {
+            return false;
+        }
+        self.matrix[a.index()].insert(b.index());
+        self.matrix[b.index()].insert(a.index());
+        self.adj[a.index()].push(b);
+        self.adj[b.index()].push(a);
+        if !self.removed[b.index()] {
+            self.degree[a.index()] += 1;
+        }
+        if !self.removed[a.index()] {
+            self.degree[b.index()] += 1;
+        }
+        true
+    }
+
+    /// Whether the representatives of `a` and `b` interfere.
+    pub fn interferes(&self, a: NodeId, b: NodeId) -> bool {
+        let (a, b) = (self.rep(a), self.rep(b));
+        self.matrix[a.index()].contains(b.index())
+    }
+
+    /// The current degree of `n` — the number of distinct, non-removed
+    /// neighbors. Meaningless for merged or removed nodes.
+    pub fn degree(&self, n: NodeId) -> usize {
+        self.degree[self.rep(n).index()]
+    }
+
+    /// The distinct current neighbors of `n`'s representative (merged
+    /// entries resolved, removed nodes *included*).
+    pub fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        let n = self.rep(n);
+        let mut seen = BitSet::new(self.num_nodes());
+        let mut out = Vec::with_capacity(self.adj[n.index()].len());
+        for &x in &self.adj[n.index()] {
+            let x = self.rep(x);
+            if x != n && seen.insert(x.index()) {
+                out.push(x);
+            }
+        }
+        out
+    }
+
+    /// Like [`neighbors`](Self::neighbors), skipping removed nodes.
+    pub fn live_neighbors(&self, n: NodeId) -> Vec<NodeId> {
+        self.neighbors(n)
+            .into_iter()
+            .filter(|&x| !self.removed[x.index()])
+            .collect()
+    }
+
+    /// Merges node `b` into node `a` (coalescing). The merged node's
+    /// interferences become the union of both. `b`'s queries afterwards
+    /// resolve through [`rep`](Self::rep).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nodes interfere, are equal, or `b` is precolored.
+    pub fn merge(&mut self, a: NodeId, b: NodeId) {
+        let (a, b) = (self.rep(a), self.rep(b));
+        assert_ne!(a, b, "merging a node with itself");
+        assert!(!self.interferes(a, b), "merging interfering nodes");
+        assert!(!self.is_precolored(b), "merging a precolored node away");
+        assert!(!self.removed[a.index()] && !self.removed[b.index()]);
+        let b_neighbors = self.neighbors(b);
+        for &x in &b_neighbors {
+            self.add_edge(a, x);
+        }
+        // The edge to `b` no longer counts toward its neighbors' degrees.
+        for &x in &b_neighbors {
+            if !self.removed[b.index()] {
+                self.degree[x.index()] -= 1;
+            }
+        }
+        self.merged[b.index()] = true;
+        self.alias[b.index()] = a;
+    }
+
+    /// Marks `n` as removed (simplified), decrementing neighbor degrees.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is precolored, merged, or already removed.
+    pub fn remove(&mut self, n: NodeId) {
+        let n = self.rep(n);
+        assert!(!self.is_precolored(n), "removing precolored {n}");
+        assert!(!self.removed[n.index()], "removing {n} twice");
+        self.removed[n.index()] = true;
+        for x in self.neighbors(n) {
+            if !self.removed[x.index()] {
+                self.degree[x.index()] -= 1;
+            }
+        }
+    }
+
+    /// Clears all removal marks and recomputes degrees (used between the
+    /// simplify and select phases, which work on the full graph).
+    pub fn restore_all(&mut self) {
+        self.removed.iter_mut().for_each(|r| *r = false);
+        for i in 0..self.num_nodes() {
+            let n = NodeId::new(i);
+            if self.merged[i] {
+                continue;
+            }
+            self.degree[i] = self.neighbors(n).len();
+        }
+    }
+
+    /// The active (unmerged, unremoved) live-range nodes.
+    pub fn active_live_ranges(&self) -> Vec<NodeId> {
+        (self.num_phys..self.num_nodes())
+            .map(NodeId::new)
+            .filter(|&n| !self.merged[n.index()] && !self.removed[n.index()])
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn precolored_mutually_interfere() {
+        let g = InterferenceGraph::new(5, 3);
+        assert!(g.interferes(n(0), n(1)));
+        assert!(g.interferes(n(1), n(2)));
+        assert!(!g.interferes(n(0), n(3)));
+        assert_eq!(g.degree(n(0)), 2);
+    }
+
+    #[test]
+    fn add_edge_and_degree() {
+        let mut g = InterferenceGraph::new(4, 0);
+        assert!(g.add_edge(n(0), n(1)));
+        assert!(!g.add_edge(n(1), n(0)));
+        assert!(g.interferes(n(0), n(1)));
+        assert_eq!(g.degree(n(0)), 1);
+        assert_eq!(g.neighbors(n(0)), vec![n(1)]);
+    }
+
+    #[test]
+    fn remove_updates_degrees() {
+        let mut g = InterferenceGraph::new(3, 0);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(0), n(2));
+        assert_eq!(g.degree(n(0)), 2);
+        g.remove(n(1));
+        assert_eq!(g.degree(n(0)), 1);
+        assert!(g.is_removed(n(1)));
+        assert_eq!(g.live_neighbors(n(0)), vec![n(2)]);
+        assert_eq!(g.neighbors(n(0)).len(), 2);
+        g.restore_all();
+        assert!(!g.is_removed(n(1)));
+        assert_eq!(g.degree(n(0)), 2);
+    }
+
+    #[test]
+    fn merge_unions_neighbors() {
+        let mut g = InterferenceGraph::new(5, 0);
+        g.add_edge(n(0), n(2));
+        g.add_edge(n(1), n(3));
+        g.add_edge(n(0), n(4));
+        g.add_edge(n(1), n(4));
+        // Merge 1 into 0: 0 gains 3; 4's degree drops from 2 to 1.
+        g.merge(n(0), n(1));
+        assert_eq!(g.rep(n(1)), n(0));
+        assert!(g.is_merged(n(1)));
+        assert!(g.interferes(n(0), n(3)));
+        assert!(g.interferes(n(1), n(2))); // resolves through rep
+        let mut nb = g.neighbors(n(0));
+        nb.sort();
+        assert_eq!(nb, vec![n(2), n(3), n(4)]);
+        assert_eq!(g.degree(n(0)), 3);
+        assert_eq!(g.degree(n(4)), 1);
+        assert_eq!(g.degree(n(2)), 1);
+        assert_eq!(g.active_live_ranges(), vec![n(0), n(2), n(3), n(4)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "interfering")]
+    fn merge_interfering_panics() {
+        let mut g = InterferenceGraph::new(2, 0);
+        g.add_edge(n(0), n(1));
+        g.merge(n(0), n(1));
+    }
+
+    #[test]
+    fn merge_into_precolored() {
+        let mut g = InterferenceGraph::new(4, 2);
+        g.add_edge(n(2), n(3));
+        g.merge(n(0), n(2));
+        assert_eq!(g.rep(n(2)), n(0));
+        assert!(g.interferes(n(0), n(3)));
+        // Precolored-precolored edge still present.
+        assert!(g.interferes(n(0), n(1)));
+    }
+
+    #[test]
+    fn chained_merges_resolve() {
+        let mut g = InterferenceGraph::new(4, 0);
+        g.merge(n(0), n(1));
+        g.merge(n(2), n(0));
+        assert_eq!(g.rep(n(1)), n(2));
+        assert_eq!(g.rep(n(0)), n(2));
+        assert_eq!(g.active_live_ranges(), vec![n(2), n(3)]);
+    }
+}

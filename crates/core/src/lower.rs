@@ -1,0 +1,297 @@
+//! ABI lowering: routing parameters, call arguments, and return values
+//! through the calling convention's dedicated registers.
+//!
+//! Lowering inserts explicit copies to and from *pinned* virtual registers
+//! (one per physical register used by the convention). These copies are the
+//! source of the paper's first preference type — dedicated register usage —
+//! and the copies a good allocator coalesces away (§3.1, §6.2: "useless
+//! copying of parameters and return values").
+//!
+//! On targets with a dedicated division register
+//! ([`TargetDesc::div_reg`]), integer `div` results are likewise routed
+//! through a pinned register — the paper's x86 example of dedicated
+//! operation registers.
+
+use pdgc_ir::{lower_phis, Function, Inst, RegClass, VReg};
+use pdgc_target::{PhysReg, TargetDesc};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A function after ABI lowering, with its pinned-register map.
+#[derive(Clone, Debug)]
+pub struct Lowered {
+    /// The lowered function (φs eliminated, calls routed through pinned
+    /// registers).
+    pub func: Function,
+    /// For each vreg, the physical register it is pinned to, if any.
+    pub pinned: Vec<Option<PhysReg>>,
+}
+
+impl Lowered {
+    /// Grows the pinned table to cover vregs created after lowering
+    /// (spill temporaries); new entries are unpinned.
+    pub fn sync_pinned_len(&mut self) {
+        self.pinned.resize(self.func.num_vregs(), None);
+    }
+}
+
+/// An error produced by [`lower_abi`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum LowerError {
+    /// A call site (or the function itself) needs more argument registers
+    /// of a class than the convention provides.
+    TooManyArgs {
+        /// The function whose lowering failed.
+        func: String,
+        /// The class that ran out of argument registers.
+        class: RegClass,
+        /// How many arguments of that class were requested.
+        wanted: usize,
+        /// How many registers the convention has.
+        available: usize,
+    },
+}
+
+impl fmt::Display for LowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LowerError::TooManyArgs {
+                func,
+                class,
+                wanted,
+                available,
+            } => write!(
+                f,
+                "lowering {func}: {wanted} {class} arguments but only {available} argument registers (stack passing is not modeled)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LowerError {}
+
+/// Lowers `func` against `target`'s calling convention.
+///
+/// * φ-functions are lowered to copies first;
+/// * a copy from the pinned argument register is prepended for each
+///   parameter;
+/// * every call's arguments are copied into pinned argument registers and
+///   its result copied out of the pinned return register;
+/// * every returned value is copied into the pinned return register.
+///
+/// # Errors
+///
+/// Returns [`LowerError::TooManyArgs`] when a signature or call site
+/// exceeds the convention's argument registers.
+pub fn lower_abi(func: &Function, target: &TargetDesc) -> Result<Lowered, LowerError> {
+    let mut f = func.clone();
+    lower_phis(&mut f);
+
+    let mut pinned_vreg: HashMap<PhysReg, VReg> = HashMap::new();
+    let name = f.name.clone();
+
+    // Split borrows: allocate pinned vregs through a closure over a local
+    // table, then rebuild the pinned vector at the end.
+    let get_pinned = {
+        move |f: &mut Function, reg: PhysReg, table: &mut HashMap<PhysReg, VReg>| -> VReg {
+            *table
+                .entry(reg)
+                .or_insert_with(|| f.new_vreg(reg.class()))
+        }
+    };
+
+    // Assign argument registers for a list of value classes, per-class
+    // indexed. Returns one register per argument.
+    let assign_args = |f_name: &str, classes: &[RegClass]| -> Result<Vec<PhysReg>, LowerError> {
+        let mut counts = [0usize; 2];
+        let mut out = Vec::with_capacity(classes.len());
+        for &c in classes {
+            let i = counts[c.index()];
+            counts[c.index()] += 1;
+            match target.arg_reg(c, i) {
+                Some(r) => out.push(r),
+                None => {
+                    return Err(LowerError::TooManyArgs {
+                        func: f_name.to_string(),
+                        class: c,
+                        wanted: counts[c.index()],
+                        available: target.num_arg_regs(c),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    };
+
+    // Parameters: entry-block copies from pinned argument registers.
+    let param_regs = assign_args(&name, &func.sig.params)?;
+    let mut entry_copies = Vec::new();
+    for (i, &reg) in param_regs.iter().enumerate() {
+        let src = get_pinned(&mut f, reg, &mut pinned_vreg);
+        entry_copies.push(Inst::Copy {
+            dst: f.param_vregs[i],
+            src,
+        });
+    }
+
+    // Calls and returns.
+    for bi in 0..f.num_blocks() {
+        let b = pdgc_ir::Block::new(bi);
+        let old = std::mem::take(&mut f.blocks[bi].insts);
+        let mut new = Vec::with_capacity(old.len());
+        if b == pdgc_ir::Block::ENTRY {
+            new.extend(entry_copies.iter().cloned());
+        }
+        for inst in old {
+            match inst {
+                Inst::Call { callee, args, ret } => {
+                    let classes: Vec<RegClass> = args.iter().map(|&a| f.class_of(a)).collect();
+                    let regs = assign_args(&name, &classes)?;
+                    let mut pinned_args = Vec::with_capacity(args.len());
+                    for (&a, &r) in args.iter().zip(&regs) {
+                        let dst = get_pinned(&mut f, r, &mut pinned_vreg);
+                        new.push(Inst::Copy { dst, src: a });
+                        pinned_args.push(dst);
+                    }
+                    match ret {
+                        Some(r) => {
+                            let reg = target.ret_reg(f.class_of(r));
+                            let p = get_pinned(&mut f, reg, &mut pinned_vreg);
+                            new.push(Inst::Call {
+                                callee,
+                                args: pinned_args,
+                                ret: Some(p),
+                            });
+                            new.push(Inst::Copy { dst: r, src: p });
+                        }
+                        None => new.push(Inst::Call {
+                            callee,
+                            args: pinned_args,
+                            ret: None,
+                        }),
+                    }
+                }
+                Inst::Ret { value: Some(v) } => {
+                    let reg = target.ret_reg(f.class_of(v));
+                    let p = get_pinned(&mut f, reg, &mut pinned_vreg);
+                    new.push(Inst::Copy { dst: p, src: v });
+                    new.push(Inst::Ret { value: Some(p) });
+                }
+                Inst::Bin {
+                    op: pdgc_ir::BinOp::Div,
+                    dst,
+                    lhs,
+                    rhs,
+                } if target.div_reg.is_some() => {
+                    // Dedicated division register: produce the quotient in
+                    // the pinned register and copy it out.
+                    let reg = target.div_reg.expect("guarded");
+                    let p = get_pinned(&mut f, reg, &mut pinned_vreg);
+                    new.push(Inst::Bin {
+                        op: pdgc_ir::BinOp::Div,
+                        dst: p,
+                        lhs,
+                        rhs,
+                    });
+                    new.push(Inst::Copy { dst, src: p });
+                }
+                other => new.push(other),
+            }
+        }
+        f.blocks[bi].insts = new;
+    }
+
+    let mut pinned = vec![None; f.num_vregs()];
+    for (reg, v) in pinned_vreg {
+        pinned[v.index()] = Some(reg);
+    }
+    Ok(Lowered { func: f, pinned })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdgc_ir::{BinOp, FunctionBuilder};
+    use pdgc_target::PressureModel;
+
+    #[test]
+    fn params_and_ret_routed() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let x = b.bin(BinOp::Add, p, p);
+        b.ret(Some(x));
+        let f = b.finish();
+        let target = TargetDesc::ia64_like(PressureModel::High);
+        let lo = lower_abi(&f, &target).unwrap();
+        assert!(lo.func.verify().is_ok());
+        // Entry now starts with a copy from the pinned arg register.
+        let first = &lo.func.blocks[0].insts[0];
+        let (dst, src) = first.as_copy().unwrap();
+        assert_eq!(dst, p);
+        assert_eq!(lo.pinned[src.index()], Some(PhysReg::int(0)));
+        // The ret now returns the pinned return vreg.
+        let last = lo.func.blocks[0].insts.last().unwrap();
+        match last {
+            Inst::Ret { value: Some(v) } => {
+                assert_eq!(lo.pinned[v.index()], Some(PhysReg::int(0)));
+            }
+            other => panic!("expected ret, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn call_args_routed_per_class() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Float], Some(RegClass::Int));
+        let q = b.param(0);
+        let i = b.iconst(7);
+        let r = b
+            .call("g", vec![i, q], Some(RegClass::Int))
+            .unwrap();
+        b.ret(Some(r));
+        let f = b.finish();
+        let target = TargetDesc::ia64_like(PressureModel::High);
+        let lo = lower_abi(&f, &target).unwrap();
+        assert!(lo.func.verify().is_ok());
+        // Find the call; its args must be pinned to r0 and f0 (first int
+        // and float argument registers).
+        let call = lo.func.blocks[0]
+            .insts
+            .iter()
+            .find(|i| i.is_call())
+            .unwrap();
+        if let Inst::Call { args, ret, .. } = call {
+            assert_eq!(lo.pinned[args[0].index()], Some(PhysReg::int(0)));
+            assert_eq!(lo.pinned[args[1].index()], Some(PhysReg::float(0)));
+            assert_eq!(lo.pinned[ret.unwrap().index()], Some(PhysReg::int(0)));
+        }
+        // Copies inserted: 1 param + 2 args + 1 ret-out + 1 ret-in = 5.
+        assert_eq!(lo.func.num_copies(), 5);
+    }
+
+    #[test]
+    fn too_many_args_rejected() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        let args: Vec<_> = (0..9).map(|i| b.iconst(i)).collect();
+        b.call("g", args, None);
+        b.ret(None);
+        let f = b.finish();
+        let target = TargetDesc::ia64_like(PressureModel::High);
+        let err = lower_abi(&f, &target).unwrap_err();
+        assert!(matches!(err, LowerError::TooManyArgs { wanted: 9, .. }));
+        assert!(err.to_string().contains("9 int arguments"));
+    }
+
+    #[test]
+    fn repeated_call_sites_share_pinned_vregs() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        let x = b.iconst(1);
+        b.call("g", vec![x], None);
+        b.call("g", vec![x], None);
+        b.ret(None);
+        let f = b.finish();
+        let target = TargetDesc::ia64_like(PressureModel::High);
+        let lo = lower_abi(&f, &target).unwrap();
+        let pinned_count = lo.pinned.iter().filter(|p| p.is_some()).count();
+        assert_eq!(pinned_count, 1); // both sites use the same r0-pinned vreg
+    }
+}

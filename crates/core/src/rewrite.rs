@@ -1,0 +1,481 @@
+//! Post-allocation rewriting: IR → machine code.
+//!
+//! Applies the register assignment and performs the mechanical tail of
+//! allocation:
+//!
+//! * **copy elimination** — a copy whose endpoints share a register
+//!   disappears (this is where deferred coalescing pays off);
+//! * **caller-side save/restore** — a value live across a call in a
+//!   volatile register is saved before and restored after the call (the
+//!   Appendix's `Save_Restore_Cost`);
+//! * **paired-load fusion** — adjacent loads of consecutive words whose
+//!   destinations satisfy the target's [`pdgc_target::PairedLoadRule`]
+//!   become a single [`MInst::LoadPair`];
+//! * **callee-save bookkeeping** — every written non-volatile register is
+//!   recorded for the prologue/epilogue.
+
+use crate::stats::AllocStats;
+use pdgc_analysis::{Cfg, Liveness};
+use pdgc_ir::{Function, Inst, VReg};
+use pdgc_target::{MInst, MachFunction, PhysReg, TargetDesc};
+use std::collections::HashMap;
+
+/// Applies `assignment` (one register per live virtual register) to the
+/// lowered, spill-free function and produces machine code.
+///
+/// `spill_slots` is the number of frame slots already consumed by spill
+/// code; caller-save shadow slots are allocated above it. Statistics are
+/// accumulated into `stats`.
+///
+/// # Panics
+///
+/// Panics if a referenced virtual register has no assignment.
+pub fn rewrite(
+    func: &Function,
+    assignment: &[Option<PhysReg>],
+    target: &TargetDesc,
+    spill_slots: u32,
+    stats: &mut AllocStats,
+) -> MachFunction {
+    let reg_of = |v: VReg| -> PhysReg {
+        assignment[v.index()]
+            .unwrap_or_else(|| panic!("rewrite: {v} in {} has no register", func.name))
+    };
+
+    // Live-across sets per call site for caller-save insertion.
+    let cfg = Cfg::compute(func);
+    let liveness = Liveness::compute(func, &cfg);
+    let mut across: HashMap<(usize, usize), Vec<PhysReg>> = HashMap::new();
+    for b in func.block_ids() {
+        liveness.for_each_inst_backward(func, b, |i, inst, live_after| {
+            if !inst.is_call() {
+                return;
+            }
+            let def = inst.def();
+            let mut regs: Vec<PhysReg> = live_after
+                .iter()
+                .map(VReg::new)
+                .filter(|&v| Some(v) != def)
+                .map(reg_of)
+                .filter(|&r| target.is_volatile(r))
+                .collect();
+            regs.sort();
+            regs.dedup();
+            if !regs.is_empty() {
+                across.insert((b.index(), i), regs);
+            }
+        });
+    }
+
+    let mut save_slot: HashMap<PhysReg, u32> = HashMap::new();
+    let mut next_slot = spill_slots;
+    stats.copies_before += func.num_copies();
+    for blk in &func.blocks {
+        for inst in &blk.insts {
+            if let Inst::Copy { dst, .. } = inst {
+                stats.class_mut(func.class_of(*dst)).copies_before += 1;
+            }
+        }
+    }
+
+    let mut blocks: Vec<Vec<MInst>> = Vec::with_capacity(func.num_blocks());
+    for b in func.block_ids() {
+        let mut out: Vec<MInst> = Vec::new();
+        for (i, inst) in func.block(b).insts.iter().enumerate() {
+            match inst {
+                Inst::Copy { dst, src } => {
+                    let (d, s) = (reg_of(*dst), reg_of(*src));
+                    if d == s {
+                        stats.moves_eliminated += 1;
+                        stats.class_mut(d.class()).moves_eliminated += 1;
+                    } else {
+                        stats.copies_remaining += 1;
+                        stats.class_mut(d.class()).copies_remaining += 1;
+                        out.push(MInst::Copy { dst: d, src: s });
+                    }
+                }
+                Inst::Iconst { dst, value } => out.push(MInst::Iconst {
+                    dst: reg_of(*dst),
+                    value: *value,
+                }),
+                Inst::Fconst { dst, value } => out.push(MInst::Fconst {
+                    dst: reg_of(*dst),
+                    value: *value,
+                }),
+                Inst::Load { dst, base, offset } => out.push(MInst::Load {
+                    dst: reg_of(*dst),
+                    base: reg_of(*base),
+                    offset: *offset,
+                }),
+                Inst::Load8 { dst, base, offset } => {
+                    let d = reg_of(*dst);
+                    out.push(MInst::Load8 {
+                        dst: d,
+                        base: reg_of(*base),
+                        offset: *offset,
+                    });
+                    if !target.is_byte_capable(d) {
+                        stats.zero_extensions += 1;
+                        out.push(MInst::BinImm {
+                            op: pdgc_ir::BinOp::And,
+                            dst: d,
+                            lhs: d,
+                            imm: 0xff,
+                        });
+                    }
+                }
+                Inst::Store { src, base, offset } => out.push(MInst::Store {
+                    src: reg_of(*src),
+                    base: reg_of(*base),
+                    offset: *offset,
+                }),
+                Inst::Bin { op, dst, lhs, rhs } => out.push(MInst::Bin {
+                    op: *op,
+                    dst: reg_of(*dst),
+                    lhs: reg_of(*lhs),
+                    rhs: reg_of(*rhs),
+                }),
+                Inst::BinImm { op, dst, lhs, imm } => out.push(MInst::BinImm {
+                    op: *op,
+                    dst: reg_of(*dst),
+                    lhs: reg_of(*lhs),
+                    imm: *imm,
+                }),
+                Inst::Call { callee, args, ret } => {
+                    let saves = across
+                        .get(&(b.index(), i))
+                        .cloned()
+                        .unwrap_or_default();
+                    for &r in &saves {
+                        let slot = *save_slot.entry(r).or_insert_with(|| {
+                            let s = next_slot;
+                            next_slot += 1;
+                            s
+                        });
+                        stats.caller_save_insts += 1;
+                        out.push(MInst::SpillStore { src: r, slot });
+                    }
+                    out.push(MInst::Call {
+                        callee: *callee,
+                        arg_regs: args.iter().map(|&a| reg_of(a)).collect(),
+                        ret_reg: ret.map(reg_of),
+                    });
+                    for &r in &saves {
+                        stats.caller_save_insts += 1;
+                        out.push(MInst::SpillLoad {
+                            dst: r,
+                            slot: save_slot[&r],
+                        });
+                    }
+                }
+                Inst::Jump { target: t } => out.push(MInst::Jump { target: *t }),
+                Inst::Branch {
+                    op,
+                    lhs,
+                    rhs,
+                    then_dst,
+                    else_dst,
+                } => out.push(MInst::Branch {
+                    op: *op,
+                    lhs: reg_of(*lhs),
+                    rhs: reg_of(*rhs),
+                    then_dst: *then_dst,
+                    else_dst: *else_dst,
+                }),
+                Inst::BranchImm {
+                    op,
+                    lhs,
+                    imm,
+                    then_dst,
+                    else_dst,
+                } => out.push(MInst::BranchImm {
+                    op: *op,
+                    lhs: reg_of(*lhs),
+                    imm: *imm,
+                    then_dst: *then_dst,
+                    else_dst: *else_dst,
+                }),
+                Inst::Ret { .. } => out.push(MInst::Ret),
+                Inst::Reload { dst, slot } => {
+                    stats.spill_loads += 1;
+                    let r = reg_of(*dst);
+                    stats.class_mut(r.class()).spill_loads += 1;
+                    out.push(MInst::SpillLoad { dst: r, slot: *slot });
+                }
+                Inst::Spill { src, slot } => {
+                    stats.spill_stores += 1;
+                    let r = reg_of(*src);
+                    stats.class_mut(r.class()).spill_stores += 1;
+                    out.push(MInst::SpillStore { src: r, slot: *slot });
+                }
+            }
+        }
+        fuse_paired_loads(&mut out, target, stats);
+        blocks.push(out);
+    }
+    stats.spill_instructions += stats.spill_loads + stats.spill_stores;
+
+    // Callee-save bookkeeping: every written non-volatile register.
+    let mut written: Vec<PhysReg> = Vec::new();
+    for blk in &blocks {
+        for inst in blk {
+            let mut record = |r: PhysReg| {
+                if !target.is_volatile(r) && !written.contains(&r) {
+                    written.push(r);
+                }
+            };
+            match inst {
+                MInst::Copy { dst, .. }
+                | MInst::Iconst { dst, .. }
+                | MInst::Fconst { dst, .. }
+                | MInst::Load { dst, .. }
+                | MInst::Bin { dst, .. }
+                | MInst::BinImm { dst, .. }
+                | MInst::SpillLoad { dst, .. } => record(*dst),
+                MInst::LoadPair { dst1, dst2, .. } => {
+                    record(*dst1);
+                    record(*dst2);
+                }
+                MInst::Call {
+                    ret_reg: Some(r), ..
+                } => record(*r),
+                _ => {}
+            }
+        }
+    }
+    written.sort();
+    stats.nonvolatiles_used += written.len();
+    stats.frame_slots += next_slot;
+
+    MachFunction {
+        name: func.name.clone(),
+        sig: func.sig.clone(),
+        blocks,
+        num_slots: next_slot,
+        used_nonvolatiles: written,
+        callees: func.callees.clone(),
+    }
+}
+
+/// Fuses adjacent `Load r1, [b+o]; Load r2, [b+o+8]` into a `LoadPair`
+/// when the destinations satisfy the target rule and the first destination
+/// is not the base (which the second load still reads).
+fn fuse_paired_loads(block: &mut Vec<MInst>, target: &TargetDesc, stats: &mut AllocStats) {
+    let mut i = 0;
+    while i + 1 < block.len() {
+        let fusable = match (&block[i], &block[i + 1]) {
+            (
+                MInst::Load {
+                    dst: d1,
+                    base: b1,
+                    offset: o1,
+                },
+                MInst::Load {
+                    dst: d2,
+                    base: b2,
+                    offset: o2,
+                },
+            ) => {
+                b1 == b2
+                    && *o2 == o1 + crate::rpg::PAIR_STRIDE
+                    && d1 != b1
+                    && target.paired_load.allows(*d1, *d2)
+            }
+            _ => false,
+        };
+        if fusable {
+            let (MInst::Load {
+                dst: d1,
+                base,
+                offset: o1,
+            }, MInst::Load {
+                dst: d2, offset: o2, ..
+            }) = (block[i].clone(), block[i + 1].clone())
+            else {
+                unreachable!()
+            };
+            block[i] = MInst::LoadPair {
+                dst1: d1,
+                dst2: d2,
+                base,
+                offset: o1,
+                offset2: o2,
+            };
+            block.remove(i + 1);
+            stats.paired_loads += 1;
+        }
+        i += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdgc_ir::{BinOp, FunctionBuilder, RegClass};
+    use pdgc_target::PressureModel;
+
+    fn assign_all(func: &Function, regs: &[(VReg, PhysReg)]) -> Vec<Option<PhysReg>> {
+        let mut a = vec![None; func.num_vregs()];
+        for &(v, r) in regs {
+            a[v.index()] = Some(r);
+        }
+        a
+    }
+
+    #[test]
+    fn same_register_copy_eliminated() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let c = b.copy(p);
+        b.ret(Some(c));
+        let f = b.finish();
+        let t = TargetDesc::ia64_like(PressureModel::High);
+        let a = assign_all(&f, &[(p, PhysReg::int(0)), (c, PhysReg::int(0))]);
+        let mut stats = AllocStats::default();
+        let m = rewrite(&f, &a, &t, 0, &mut stats);
+        assert_eq!(stats.moves_eliminated, 1);
+        assert_eq!(stats.copies_remaining, 0);
+        assert_eq!(m.num_copies(), 0);
+    }
+
+    #[test]
+    fn caller_save_inserted_for_volatile_across_call() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        b.call("g", vec![], None);
+        let r = b.bin(BinOp::Add, p, p);
+        b.ret(Some(r));
+        let f = b.finish();
+        let t = TargetDesc::ia64_like(PressureModel::High);
+        // p in a volatile register crosses the call.
+        let a = assign_all(&f, &[(p, PhysReg::int(3)), (r, PhysReg::int(0))]);
+        let mut stats = AllocStats::default();
+        let m = rewrite(&f, &a, &t, 0, &mut stats);
+        assert_eq!(stats.caller_save_insts, 2);
+        let kinds: Vec<&str> = m.blocks[0]
+            .iter()
+            .map(|i| match i {
+                MInst::SpillStore { .. } => "save",
+                MInst::Call { .. } => "call",
+                MInst::SpillLoad { .. } => "restore",
+                MInst::Ret => "ret",
+                _ => "op",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["save", "call", "restore", "op", "ret"]);
+        assert_eq!(m.num_slots, 1);
+    }
+
+    #[test]
+    fn no_caller_save_for_nonvolatile() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let q = b.load(p, 0); // written before the call, live across it
+        b.call("g", vec![], None);
+        let r = b.bin(BinOp::Add, q, q);
+        b.ret(Some(r));
+        let f = b.finish();
+        let t = TargetDesc::ia64_like(PressureModel::High);
+        // q in a non-volatile register (index >= 8 under High).
+        let a = assign_all(
+            &f,
+            &[
+                (p, PhysReg::int(0)),
+                (q, PhysReg::int(12)),
+                (r, PhysReg::int(0)),
+            ],
+        );
+        let mut stats = AllocStats::default();
+        let m = rewrite(&f, &a, &t, 0, &mut stats);
+        assert_eq!(stats.caller_save_insts, 0);
+        // But the non-volatile register is recorded for the prologue.
+        assert_eq!(m.used_nonvolatiles, vec![PhysReg::int(12)]);
+        assert_eq!(stats.nonvolatiles_used, 1);
+    }
+
+    #[test]
+    fn paired_load_fused_when_rule_allows() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let x = b.load(p, 0);
+        let y = b.load(p, 8);
+        let s = b.bin(BinOp::Add, x, y);
+        b.ret(Some(s));
+        let f = b.finish();
+        let t = TargetDesc::ia64_like(PressureModel::High); // parity rule
+        let a = assign_all(
+            &f,
+            &[
+                (p, PhysReg::int(0)),
+                (x, PhysReg::int(1)),
+                (y, PhysReg::int(2)),
+                (s, PhysReg::int(0)),
+            ],
+        );
+        let mut stats = AllocStats::default();
+        let m = rewrite(&f, &a, &t, 0, &mut stats);
+        assert_eq!(stats.paired_loads, 1);
+        assert_eq!(m.num_paired_loads(), 1);
+
+        // Same-parity destinations cannot fuse.
+        let a2 = assign_all(
+            &f,
+            &[
+                (p, PhysReg::int(0)),
+                (x, PhysReg::int(1)),
+                (y, PhysReg::int(3)),
+                (s, PhysReg::int(0)),
+            ],
+        );
+        let mut stats2 = AllocStats::default();
+        let m2 = rewrite(&f, &a2, &t, 0, &mut stats2);
+        assert_eq!(stats2.paired_loads, 0);
+        assert_eq!(m2.num_paired_loads(), 0);
+    }
+
+    #[test]
+    fn fusion_blocked_when_dst_is_base() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let x = b.load(p, 0);
+        let y = b.load(p, 8);
+        let s = b.bin(BinOp::Add, x, y);
+        b.ret(Some(s));
+        let f = b.finish();
+        let t = TargetDesc::ia64_like(PressureModel::High);
+        // x lands on the base register: second load would read clobbered
+        // base under sequential execution, so fusion must not happen.
+        let a = assign_all(
+            &f,
+            &[
+                (p, PhysReg::int(1)),
+                (x, PhysReg::int(1)),
+                (y, PhysReg::int(2)),
+                (s, PhysReg::int(0)),
+            ],
+        );
+        let mut stats = AllocStats::default();
+        let m = rewrite(&f, &a, &t, 0, &mut stats);
+        assert_eq!(m.num_paired_loads(), 0);
+    }
+
+    #[test]
+    fn spill_traffic_translated() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let t1 = b.new_vreg(RegClass::Int);
+        b.emit(Inst::Spill { src: p, slot: 0 });
+        b.emit(Inst::Reload { dst: t1, slot: 0 });
+        b.ret(Some(t1));
+        let f = b.finish();
+        let t = TargetDesc::ia64_like(PressureModel::High);
+        let a = assign_all(&f, &[(p, PhysReg::int(0)), (t1, PhysReg::int(0))]);
+        let mut stats = AllocStats::default();
+        let m = rewrite(&f, &a, &t, 1, &mut stats);
+        assert_eq!(stats.spill_loads, 1);
+        assert_eq!(stats.spill_stores, 1);
+        assert_eq!(stats.spill_instructions, 2);
+        assert_eq!(m.num_spill_insts(), 2);
+        assert_eq!(m.num_slots, 1);
+    }
+}

@@ -1,0 +1,631 @@
+//! The integrated, preference-directed select phase — §5.3 of the paper.
+//!
+//! Select walks the ready frontier of the [`Cpg`]: at each step it
+//!
+//! 1. evaluates every frontier node's honorable preferences against prior
+//!    register selections (paper steps 2.1–2.3),
+//! 2. picks the node with the largest *strength differential* — the node
+//!    with the most at stake between its best and worst register choice
+//!    (step 3),
+//! 3. assigns it a register by screening the available set through its
+//!    preferences, strongest first (steps 4.1–4.4), reserving registers
+//!    that not-yet-allocated preference partners will need (step 4.3),
+//!    spilling when no register is available — or *actively* when the
+//!    node's strongest preference is to live in memory (§5.4),
+//! 4. releases its CPG successors (step 5).
+//!
+//! Spill decisions, coalescing (same-register selection), and every
+//! preference type are thereby resolved simultaneously.
+
+use crate::cpg::Cpg;
+use crate::ifg::InterferenceGraph;
+use crate::node::{NodeId, NodeMap};
+use crate::rpg::{PrefKind, PrefTarget, Preference, Rpg};
+use pdgc_target::{PhysReg, TargetDesc};
+
+/// Tunables for the select phase.
+#[derive(Clone, Copy, Debug)]
+pub struct SelectConfig {
+    /// Spill a node whose strongest preference is negative (it prefers
+    /// memory). Enabled by the full-preference allocator, disabled in
+    /// coalescing-only mode.
+    pub active_spill: bool,
+    /// When no preference discriminates among the remaining candidates,
+    /// pick the lowest-index non-volatile register first (the "simple
+    /// heuristic" the paper gives preference-unaware allocators); otherwise
+    /// pick the lowest index overall.
+    pub nonvolatile_first: bool,
+}
+
+impl Default for SelectConfig {
+    fn default() -> Self {
+        SelectConfig {
+            active_spill: true,
+            nonvolatile_first: false,
+        }
+    }
+}
+
+/// The outcome of selection for one class.
+#[derive(Clone, Debug)]
+pub struct SelectResult {
+    /// Register per node (precolored nodes prefilled; `None` = spilled or
+    /// not part of this universe).
+    pub assignment: Vec<Option<PhysReg>>,
+    /// Live-range nodes that must be spilled.
+    pub spilled: Vec<NodeId>,
+}
+
+/// Runs preference-directed selection over one class.
+///
+/// `no_spill[n]` marks spill temporaries that must receive registers.
+///
+/// # Panics
+///
+/// Panics if the CPG is cyclic (cannot happen for graphs built by
+/// [`Cpg::build`]).
+pub fn select(
+    ifg: &InterferenceGraph,
+    nodes: &NodeMap,
+    rpg: &Rpg,
+    cpg: &Cpg,
+    target: &TargetDesc,
+    no_spill: &[bool],
+    config: SelectConfig,
+) -> SelectResult {
+    Selector {
+        ifg,
+        nodes,
+        rpg,
+        cpg,
+        target,
+        no_spill,
+        config,
+        assignment: (0..nodes.num_nodes())
+            .map(|i| {
+                let n = NodeId::new(i);
+                nodes.is_precolored(n).then(|| nodes.phys_reg(n))
+            })
+            .collect(),
+        spilled: vec![false; nodes.num_nodes()],
+        processed: vec![false; nodes.num_nodes()],
+    }
+    .run()
+}
+
+struct Selector<'a> {
+    ifg: &'a InterferenceGraph,
+    nodes: &'a NodeMap,
+    rpg: &'a Rpg,
+    cpg: &'a Cpg,
+    target: &'a TargetDesc,
+    no_spill: &'a [bool],
+    config: SelectConfig,
+    assignment: Vec<Option<PhysReg>>,
+    spilled: Vec<bool>,
+    processed: Vec<bool>,
+}
+
+/// One honorable preference: the registers that honor it and the strength
+/// of doing so (per register kind, resolved per register).
+struct Honorable {
+    pref: Preference,
+    regs: Vec<PhysReg>,
+}
+
+impl Selector<'_> {
+    fn run(mut self) -> SelectResult {
+        let mut pred_remaining: Vec<usize> = (0..self.nodes.num_nodes())
+            .map(|i| self.cpg.preds(NodeId::new(i)).len())
+            .collect();
+        let mut queue: Vec<NodeId> = self.cpg.initial_queue();
+        let total: usize = self.cpg.nodes().count();
+        let mut done = 0;
+
+        while !queue.is_empty() {
+            // Step 3: the frontier node with the largest differential.
+            let (qi, _) = queue
+                .iter()
+                .enumerate()
+                .map(|(i, &n)| (i, self.differential(n)))
+                .max_by(|(i, a), (j, b)| {
+                    a.cmp(b)
+                        .then(queue[*j].index().cmp(&queue[*i].index()))
+                })
+                .expect("non-empty queue");
+            let n = queue.swap_remove(qi);
+
+            self.allocate(n);
+            self.processed[n.index()] = true;
+            done += 1;
+
+            // Step 5: release successors.
+            for &s in self.cpg.succs(n) {
+                pred_remaining[s.index()] -= 1;
+                if pred_remaining[s.index()] == 0 {
+                    queue.push(s);
+                }
+            }
+        }
+        assert_eq!(done, total, "CPG must drain completely (acyclic)");
+
+        let spilled = (0..self.nodes.num_nodes())
+            .map(NodeId::new)
+            .filter(|n| self.spilled[n.index()])
+            .collect();
+        SelectResult {
+            assignment: self.assignment,
+            spilled,
+        }
+    }
+
+    /// Registers not used by already-allocated interference neighbors.
+    fn available(&self, n: NodeId) -> Vec<PhysReg> {
+        let mut used = vec![false; self.target.num_regs(self.nodes.class())];
+        for x in self.ifg.neighbors(n) {
+            if let Some(r) = self.assignment[x.index()] {
+                used[r.index()] = true;
+            }
+        }
+        self.target
+            .regs(self.nodes.class())
+            .filter(|r| !used[r.index()])
+            .collect()
+    }
+
+    /// Steps 2.1–2.2: the preferences of `n` that prior selections still
+    /// allow, with their honoring register sets within `avail`.
+    fn honorable_prefs(&self, n: NodeId, avail: &[PhysReg]) -> Vec<Honorable> {
+        let mut out = Vec::new();
+        for &pref in self.rpg.prefs(n) {
+            let regs: Vec<PhysReg> = match pref.target {
+                PrefTarget::Volatile => avail
+                    .iter()
+                    .copied()
+                    .filter(|&r| self.target.is_volatile(r))
+                    .collect(),
+                PrefTarget::NonVolatile => avail
+                    .iter()
+                    .copied()
+                    .filter(|&r| !self.target.is_volatile(r))
+                    .collect(),
+                PrefTarget::Set(mask) => avail
+                    .iter()
+                    .copied()
+                    .filter(|&r| r.index() < 64 && (mask >> r.index()) & 1 == 1)
+                    .collect(),
+                PrefTarget::Node(m) => {
+                    // Resolve through coalesced representatives (pre-
+                    // coalescing merges nodes before selection).
+                    let m = self.ifg.rep(m);
+                    let Some(partner) = self.assignment[m.index()] else {
+                        continue; // unallocated or spilled: deferred (2.2)
+                    };
+                    match pref.kind {
+                        PrefKind::Coalesce => avail
+                            .iter()
+                            .copied()
+                            .filter(|&r| r == partner)
+                            .collect(),
+                        PrefKind::SequentialPlus => avail
+                            .iter()
+                            .copied()
+                            .filter(|&r| self.target.paired_load.allows(r, partner))
+                            .collect(),
+                        PrefKind::SequentialMinus => avail
+                            .iter()
+                            .copied()
+                            .filter(|&r| self.target.paired_load.allows(partner, r))
+                            .collect(),
+                        PrefKind::Prefers => Vec::new(),
+                    }
+                }
+            };
+            if !regs.is_empty() {
+                out.push(Honorable { pref, regs });
+            }
+        }
+        out
+    }
+
+    /// Step 3's metric: the spread between the best and worst per-register
+    /// preference satisfaction over the currently available registers.
+    fn differential(&self, n: NodeId) -> i64 {
+        let avail = self.available(n);
+        if avail.is_empty() {
+            return i64::MIN + 1; // will spill regardless of order
+        }
+        let honorable = self.honorable_prefs(n, &avail);
+        let mut best = i64::MIN;
+        let mut worst = i64::MAX;
+        for &r in &avail {
+            let s = honorable
+                .iter()
+                .filter(|h| h.regs.contains(&r))
+                .map(|h| h.pref.strength_with(r, self.target))
+                .max()
+                .unwrap_or(0);
+            best = best.max(s);
+            worst = worst.min(s);
+        }
+        best - worst
+    }
+
+    /// Steps 4.1–4.4 for the chosen node.
+    fn allocate(&mut self, n: NodeId) {
+        let avail = self.available(n);
+        if avail.is_empty() {
+            self.spill(n);
+            return;
+        }
+        let mut honorable = self.honorable_prefs(n, &avail);
+        // §5.4 active spilling: the strongest preference is for memory.
+        if self.config.active_spill && !self.no_spill[n.index()] {
+            let strongest = honorable
+                .iter()
+                .flat_map(|h| {
+                    h.regs
+                        .iter()
+                        .map(|&r| h.pref.strength_with(r, self.target))
+                })
+                .max();
+            if let Some(s) = strongest {
+                if s < 0 {
+                    self.spill(n);
+                    return;
+                }
+            }
+        }
+
+        // Step 4.2: screen strongest-to-weakest; a preference only narrows
+        // the candidate set when it can still be honored within it.
+        honorable.sort_by_key(|h| {
+            std::cmp::Reverse(
+                h.regs
+                    .iter()
+                    .map(|&r| h.pref.strength_with(r, self.target))
+                    .max()
+                    .unwrap_or(i64::MIN),
+            )
+        });
+        let mut cand = avail;
+        for h in &honorable {
+            let narrowed: Vec<PhysReg> =
+                cand.iter().copied().filter(|r| h.regs.contains(r)).collect();
+            if !narrowed.is_empty() {
+                let gain = narrowed
+                    .iter()
+                    .map(|&r| h.pref.strength_with(r, self.target))
+                    .max()
+                    .unwrap_or(0);
+                if gain > 0 {
+                    cand = narrowed;
+                }
+            }
+        }
+
+        // Step 4.3: keep registers that let unallocated partners still
+        // honor their pairing with us.
+        let reserved = self.reserve_for_partners(n, &cand);
+        if !reserved.is_empty() {
+            cand = reserved;
+        }
+
+        // Step 4.4: pick.
+        let reg = if self.config.nonvolatile_first {
+            cand.iter()
+                .copied()
+                .find(|&r| !self.target.is_volatile(r))
+                .unwrap_or(cand[0])
+        } else {
+            cand[0]
+        };
+        self.assignment[n.index()] = Some(reg);
+    }
+
+    /// Step 4.3: of `cand`, the registers that do not prevent a deferred
+    /// (unallocated-partner) preference from being honored later:
+    ///
+    /// * a *coalesce* partner must later be able to take the same register
+    ///   we pick, so registers already blocked by the partner's allocated
+    ///   neighbors are removed;
+    /// * a *sequential* partner must later find a register that pairs with
+    ///   ours under the target rule.
+    ///
+    /// Strong deferred preferences are applied first; a filter that would
+    /// empty the candidate set is skipped (the preference is abandoned
+    /// rather than hurting this node).
+    fn reserve_for_partners(&self, n: NodeId, cand: &[PhysReg]) -> Vec<PhysReg> {
+        let mut deferred: Vec<&Preference> = Vec::new();
+        for pref in self.rpg.prefs(n) {
+            if let PrefTarget::Node(m) = pref.target {
+                let m = self.ifg.rep(m);
+                let pending = self.assignment[m.index()].is_none()
+                    && !self.spilled[m.index()]
+                    && !self.nodes.is_precolored(m)
+                    && self.cpg.contains(m);
+                if pending && !matches!(pref.kind, PrefKind::Prefers) {
+                    deferred.push(pref);
+                }
+            }
+        }
+        if deferred.is_empty() {
+            return cand.to_vec();
+        }
+        deferred.sort_by_key(|p| std::cmp::Reverse(p.best_strength()));
+        let mut cand = cand.to_vec();
+        for pref in deferred {
+            let PrefTarget::Node(m) = pref.target else {
+                continue;
+            };
+            let m = self.ifg.rep(m);
+            let partner_blocked: Vec<PhysReg> = self
+                .ifg
+                .neighbors(m)
+                .into_iter()
+                .filter_map(|x| self.assignment[x.index()])
+                .collect();
+            let narrowed: Vec<PhysReg> = cand
+                .iter()
+                .copied()
+                .filter(|&r| match pref.kind {
+                    PrefKind::Coalesce => !partner_blocked.contains(&r),
+                    PrefKind::SequentialPlus | PrefKind::SequentialMinus => {
+                        self.target.regs(self.nodes.class()).any(|s| {
+                            s != r
+                                && !partner_blocked.contains(&s)
+                                && match pref.kind {
+                                    PrefKind::SequentialPlus => {
+                                        self.target.paired_load.allows(r, s)
+                                    }
+                                    _ => self.target.paired_load.allows(s, r),
+                                }
+                        })
+                    }
+                    PrefKind::Prefers => true,
+                })
+                .collect();
+            if !narrowed.is_empty() {
+                cand = narrowed;
+            }
+        }
+        cand
+    }
+
+    fn spill(&mut self, n: NodeId) {
+        assert!(
+            !self.no_spill[n.index()],
+            "select: forced to spill unspillable temporary {n}"
+        );
+        self.spilled[n.index()] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simplify::{simplify, SimplifyMode};
+    use pdgc_ir::RegClass;
+    use pdgc_target::TargetDesc;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    /// Universe with 3 precolored + the given interference edges among
+    /// live ranges 3..3+m.
+    fn setup(m: usize, edges: &[(usize, usize)]) -> (InterferenceGraph, NodeMap) {
+        use pdgc_ir::FunctionBuilder;
+        // NodeMap needs a function; build one with m int vregs all used.
+        let mut b = FunctionBuilder::new("t", vec![], None);
+        let base = b.iconst(0);
+        let mut vs = vec![];
+        for i in 0..m {
+            let v = b.load(base, (i * 16) as i32 + 128);
+            vs.push(v);
+        }
+        // keep them all live to the end via stores
+        for &v in &vs {
+            b.store(v, base, 0);
+        }
+        b.ret(None);
+        let f = b.finish();
+        let target = TargetDesc::figure7();
+        let pinned = vec![None; f.num_vregs()];
+        let nm = NodeMap::build(&f, &target, RegClass::Int, &pinned);
+        let mut g = InterferenceGraph::new(nm.num_nodes(), nm.num_phys());
+        for &(a, b2) in edges {
+            g.add_edge(n(a), n(b2));
+        }
+        (g, nm)
+    }
+
+    fn run_select(
+        g: &mut InterferenceGraph,
+        nm: &NodeMap,
+        rpg: &Rpg,
+        config: SelectConfig,
+    ) -> SelectResult {
+        let target = TargetDesc::figure7();
+        let costs = vec![10u64; nm.num_nodes()];
+        let sr = simplify(g, 3, &costs, SimplifyMode::Optimistic);
+        g.restore_all();
+        let cpg = Cpg::build(g, &sr.stack, &sr.optimistic, 3);
+        let no_spill = vec![false; nm.num_nodes()];
+        select(g, nm, rpg, &cpg, &target, &no_spill, config)
+    }
+
+    #[test]
+    fn triangle_gets_three_distinct_registers() {
+        // Nodes 3,4,5 mutually interfere (a triangle), node 6 is free.
+        let (mut g, nm) = setup(3, &[(3, 4), (3, 5), (4, 5)]);
+        let rpg = Rpg::new(nm.num_nodes());
+        let r = run_select(&mut g, &nm, &rpg, SelectConfig::default());
+        assert!(r.spilled.is_empty());
+        let mut regs: Vec<_> = (3..6).map(|i| r.assignment[i].unwrap()).collect();
+        regs.sort();
+        regs.dedup();
+        assert_eq!(regs.len(), 3);
+    }
+
+    #[test]
+    fn k4_with_three_colors_spills_exactly_one() {
+        let (mut g, nm) = setup(3, &[(3, 4), (3, 5), (3, 6), (4, 5), (4, 6), (5, 6)]);
+        let rpg = Rpg::new(nm.num_nodes());
+        let r = run_select(&mut g, &nm, &rpg, SelectConfig::default());
+        assert_eq!(r.spilled.len() + (3..7).filter(|&i| r.assignment[i].is_some()).count(), 4);
+        // All allocated nodes have distinct registers (they all interfere).
+        let mut regs: Vec<_> = (3..7).filter_map(|i| r.assignment[i]).collect();
+        let before = regs.len();
+        regs.sort();
+        regs.dedup();
+        assert_eq!(regs.len(), before);
+    }
+
+    #[test]
+    fn coalesce_preference_matches_partner_register() {
+        // Two non-interfering nodes 4 and 5, copy-related; 4 also
+        // interferes with nothing else. Force processing order via CPG and
+        // check 5 lands on 4's register.
+        let (mut g, nm) = setup(2, &[(3, 4), (3, 5)]);
+        let mut rpg = Rpg::new(nm.num_nodes());
+        for (a, b) in [(4, 5), (5, 4)] {
+            rpg.add(
+                n(a),
+                Preference {
+                    kind: PrefKind::Coalesce,
+                    target: PrefTarget::Node(n(b)),
+                    strength_vol: 40,
+                    strength_nonvol: 38,
+                },
+            );
+        }
+        let r = run_select(&mut g, &nm, &rpg, SelectConfig::default());
+        assert!(r.spilled.is_empty());
+        assert_eq!(r.assignment[4], r.assignment[5]);
+    }
+
+    #[test]
+    fn dedicated_register_preference_honored() {
+        // Node 4 copy-related to precolored r2 (node 2).
+        let (mut g, nm) = setup(1, &[(3, 4)]);
+        let mut rpg = Rpg::new(nm.num_nodes());
+        rpg.add(
+            n(4),
+            Preference {
+                kind: PrefKind::Coalesce,
+                target: PrefTarget::Node(n(2)),
+                strength_vol: 10,
+                strength_nonvol: 10,
+            },
+        );
+        let r = run_select(&mut g, &nm, &rpg, SelectConfig::default());
+        assert_eq!(r.assignment[4], Some(pdgc_target::PhysReg::int(2)));
+    }
+
+    #[test]
+    fn prefers_nonvolatile_honored() {
+        let (mut g, nm) = setup(1, &[(3, 4)]);
+        let mut rpg = Rpg::new(nm.num_nodes());
+        rpg.add(
+            n(4),
+            Preference {
+                kind: PrefKind::Prefers,
+                target: PrefTarget::NonVolatile,
+                strength_vol: i64::MIN,
+                strength_nonvol: 25,
+            },
+        );
+        rpg.add(
+            n(4),
+            Preference {
+                kind: PrefKind::Prefers,
+                target: PrefTarget::Volatile,
+                strength_vol: 5,
+                strength_nonvol: i64::MIN,
+            },
+        );
+        let r = run_select(&mut g, &nm, &rpg, SelectConfig::default());
+        // figure7 target: r2 is the only non-volatile register.
+        assert_eq!(r.assignment[4], Some(pdgc_target::PhysReg::int(2)));
+    }
+
+    #[test]
+    fn active_spill_on_memory_preference() {
+        let (mut g, nm) = setup(1, &[(3, 4)]);
+        let mut rpg = Rpg::new(nm.num_nodes());
+        for (t, sv, snv) in [
+            (PrefTarget::Volatile, -5i64, i64::MIN),
+            (PrefTarget::NonVolatile, i64::MIN, -7),
+        ] {
+            rpg.add(
+                n(4),
+                Preference {
+                    kind: PrefKind::Prefers,
+                    target: t,
+                    strength_vol: sv,
+                    strength_nonvol: snv,
+                },
+            );
+        }
+        let cfg = SelectConfig {
+            active_spill: true,
+            nonvolatile_first: false,
+        };
+        let r = run_select(&mut g, &nm, &rpg, cfg);
+        assert_eq!(r.spilled, vec![n(4)]);
+        // With active spilling off the node gets a register.
+        let (mut g2, nm2) = setup(1, &[(3, 4)]);
+        let cfg = SelectConfig {
+            active_spill: false,
+            nonvolatile_first: false,
+        };
+        let r2 = run_select(&mut g2, &nm2, &rpg, cfg);
+        assert!(r2.spilled.is_empty());
+    }
+
+    #[test]
+    fn nonvolatile_first_fallback() {
+        let (mut g, nm) = setup(1, &[(3, 4)]);
+        let rpg = Rpg::new(nm.num_nodes());
+        let cfg = SelectConfig {
+            active_spill: false,
+            nonvolatile_first: true,
+        };
+        let r = run_select(&mut g, &nm, &rpg, cfg);
+        // The first node processed (lowest id on ties: the base at node 3)
+        // takes the sole non-volatile register r2; its neighbor falls back
+        // to the first volatile register.
+        assert_eq!(r.assignment[3], Some(pdgc_target::PhysReg::int(2)));
+        assert_eq!(r.assignment[4], Some(pdgc_target::PhysReg::int(0)));
+    }
+
+    #[test]
+    fn sequential_pairing_after_partner_allocated() {
+        // 4 and 5 interfere (paired values are simultaneously live).
+        let (mut g, nm) = setup(2, &[(3, 4), (3, 5), (4, 5)]);
+        let mut rpg = Rpg::new(nm.num_nodes());
+        rpg.add(
+            n(4),
+            Preference {
+                kind: PrefKind::SequentialPlus,
+                target: PrefTarget::Node(n(5)),
+                strength_vol: 50,
+                strength_nonvol: 48,
+            },
+        );
+        rpg.add(
+            n(5),
+            Preference {
+                kind: PrefKind::SequentialMinus,
+                target: PrefTarget::Node(n(4)),
+                strength_vol: 50,
+                strength_nonvol: 48,
+            },
+        );
+        let r = run_select(&mut g, &nm, &rpg, SelectConfig::default());
+        let (a, b) = (r.assignment[4].unwrap(), r.assignment[5].unwrap());
+        // figure7 uses the different-parity rule.
+        assert!(TargetDesc::figure7().paired_load.allows(a, b));
+    }
+}

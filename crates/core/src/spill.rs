@@ -1,0 +1,228 @@
+//! Spill-code insertion (Chaitin-style live-range splitting).
+//!
+//! A spilled live range is "split into smaller live ranges by spilling out
+//! the value after its definitions and spilling in before its uses" (§2).
+//! Each def site gets a fresh temporary stored to the range's frame slot;
+//! each use site gets a fresh temporary reloaded just before. The
+//! temporaries have tiny live ranges and are marked unspillable for
+//! subsequent rounds.
+
+use pdgc_ir::{Function, Inst, VReg};
+
+/// The result of one spill-insertion pass.
+#[derive(Clone, Debug, Default)]
+pub struct SpillOutcome {
+    /// Fresh temporaries created (callers mark them unspillable).
+    pub new_temps: Vec<VReg>,
+    /// Reload instructions inserted.
+    pub loads: usize,
+    /// Spill-store instructions inserted.
+    pub stores: usize,
+}
+
+/// Splits every register in `spilled`, assigning each a fresh frame slot
+/// starting at `*next_slot` (updated).
+///
+/// # Panics
+///
+/// Panics if a spilled register has uses but no definition anywhere
+/// (an unlowered parameter — the pipeline lowers parameters into explicit
+/// copies before allocating).
+pub fn insert_spill_code(
+    func: &mut Function,
+    spilled: &[VReg],
+    next_slot: &mut u32,
+) -> SpillOutcome {
+    let mut outcome = SpillOutcome::default();
+    if spilled.is_empty() {
+        return outcome;
+    }
+    let mut slot_of = vec![None; func.num_vregs()];
+    let mut has_def = vec![false; func.num_vregs()];
+    for b in func.block_ids() {
+        for inst in &func.block(b).insts {
+            if let Some(d) = inst.def() {
+                has_def[d.index()] = true;
+            }
+        }
+    }
+    for &v in spilled {
+        assert!(
+            has_def[v.index()],
+            "spilling {v} which has no definition (unlowered parameter?)"
+        );
+        slot_of[v.index()] = Some(*next_slot);
+        *next_slot += 1;
+    }
+
+    for bi in 0..func.num_blocks() {
+        let old = std::mem::take(&mut func.blocks[bi].insts);
+        let mut new = Vec::with_capacity(old.len());
+        for mut inst in old {
+            // Reload before uses.
+            let mut reloaded: Option<(VReg, VReg)> = None; // (orig, temp)
+            let mut wanted: Vec<VReg> = Vec::new();
+            inst.visit_uses(|u| {
+                if slot_of[u.index()].is_some() && !wanted.contains(&u) {
+                    wanted.push(u);
+                }
+            });
+            for orig in wanted {
+                let slot = slot_of[orig.index()].unwrap();
+                let temp = func.vreg_classes.len();
+                func.vreg_classes.push(func.vreg_classes[orig.index()]);
+                let temp = VReg::new(temp);
+                outcome.new_temps.push(temp);
+                outcome.loads += 1;
+                new.push(Inst::Reload { dst: temp, slot });
+                reloaded = Some((orig, temp));
+                let (o, t) = (orig, temp);
+                inst.visit_uses_mut(|u| {
+                    if *u == o {
+                        *u = t;
+                    }
+                });
+            }
+            let _ = reloaded;
+            // Store after defs.
+            match inst.def() {
+                Some(d) if slot_of[d.index()].is_some() => {
+                    let slot = slot_of[d.index()].unwrap();
+                    let temp = func.vreg_classes.len();
+                    func.vreg_classes.push(func.vreg_classes[d.index()]);
+                    let temp = VReg::new(temp);
+                    outcome.new_temps.push(temp);
+                    outcome.stores += 1;
+                    if let Some(dm) = inst.def_mut() {
+                        *dm = temp;
+                    }
+                    new.push(inst);
+                    new.push(Inst::Spill { src: temp, slot });
+                }
+                _ => new.push(inst),
+            }
+        }
+        func.blocks[bi].insts = new;
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdgc_ir::{BinOp, FunctionBuilder, RegClass};
+
+    #[test]
+    fn def_and_uses_split() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let x = b.bin_imm(BinOp::Add, p, 1);
+        let y = b.bin(BinOp::Mul, x, x);
+        let z = b.bin(BinOp::Add, y, x);
+        b.ret(Some(z));
+        let f0 = b.finish();
+
+        let mut f = f0.clone();
+        let mut next = 0;
+        let out = insert_spill_code(&mut f, &[x], &mut next);
+        assert_eq!(next, 1);
+        assert_eq!(out.stores, 1); // one def
+        assert_eq!(out.loads, 2); // two use sites (y's double use counts once)
+        assert_eq!(out.new_temps.len(), 3);
+        assert!(f.verify().is_ok());
+        // x itself no longer appears anywhere.
+        let mut x_seen = false;
+        for blk in &f.blocks {
+            for i in &blk.insts {
+                if i.def() == Some(x) {
+                    x_seen = true;
+                }
+                i.visit_uses(|u| {
+                    if u == x {
+                        x_seen = true;
+                    }
+                });
+            }
+        }
+        assert!(!x_seen);
+        // Shape: add; spill; reload; mul; reload; add; ret
+        let kinds: Vec<_> = f.blocks[0]
+            .insts
+            .iter()
+            .map(|i| match i {
+                Inst::Spill { .. } => "spill",
+                Inst::Reload { .. } => "reload",
+                Inst::Ret { .. } => "ret",
+                _ => "op",
+            })
+            .collect();
+        assert_eq!(
+            kinds,
+            vec!["op", "spill", "reload", "op", "reload", "op", "ret"]
+        );
+    }
+
+    #[test]
+    fn multiple_spills_get_distinct_slots() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let x = b.bin_imm(BinOp::Add, p, 1);
+        let y = b.bin_imm(BinOp::Add, p, 2);
+        let z = b.bin(BinOp::Add, x, y);
+        b.ret(Some(z));
+        let mut f = b.finish();
+        let mut next = 5;
+        insert_spill_code(&mut f, &[x, y], &mut next);
+        assert_eq!(next, 7);
+        let mut slots = vec![];
+        for blk in &f.blocks {
+            for i in &blk.insts {
+                if let Inst::Spill { slot, .. } = i {
+                    slots.push(*slot);
+                }
+            }
+        }
+        slots.sort();
+        assert_eq!(slots, vec![5, 6]);
+    }
+
+    #[test]
+    fn instruction_using_and_defining_same_reg() {
+        // v = v + 1 pattern (non-SSA).
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        b.emit(Inst::BinImm {
+            op: BinOp::Add,
+            dst: p,
+            lhs: p,
+            imm: 1,
+        });
+        b.ret(Some(p));
+        let mut f = b.finish();
+        // p needs a def first (it is a parameter) — give it one.
+        f.blocks[0].insts.insert(
+            0,
+            Inst::Iconst {
+                dst: p,
+                value: 3,
+            },
+        );
+        let mut next = 0;
+        let out = insert_spill_code(&mut f, &[p], &mut next);
+        // defs: iconst + add = 2 stores; uses: add + ret = 2 loads.
+        assert_eq!(out.stores, 2);
+        assert_eq!(out.loads, 2);
+        assert!(f.verify().is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "no definition")]
+    fn spilling_undefined_register_panics() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        b.ret(Some(p));
+        let mut f = b.finish();
+        let mut next = 0;
+        insert_spill_code(&mut f, &[p], &mut next);
+    }
+}

@@ -1,0 +1,134 @@
+//! Allocation statistics — the quantities the paper's evaluation reports.
+
+use pdgc_ir::RegClass;
+
+/// Per-register-class statistics (the paper's Figure 9 reports the float
+/// class separately for mpegaudio/mtrt).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ClassStats {
+    /// Copies of this class before allocation.
+    pub copies_before: usize,
+    /// Copies of this class removed by coalescing.
+    pub moves_eliminated: usize,
+    /// Copies of this class remaining.
+    pub copies_remaining: usize,
+    /// Spill reloads of this class.
+    pub spill_loads: usize,
+    /// Spill stores of this class.
+    pub spill_stores: usize,
+}
+
+impl ClassStats {
+    /// Total spill instructions of the class.
+    pub fn spill_instructions(&self) -> usize {
+        self.spill_loads + self.spill_stores
+    }
+
+    fn accumulate(&mut self, other: &ClassStats) {
+        self.copies_before += other.copies_before;
+        self.moves_eliminated += other.moves_eliminated;
+        self.copies_remaining += other.copies_remaining;
+        self.spill_loads += other.spill_loads;
+        self.spill_stores += other.spill_stores;
+    }
+}
+
+/// Statistics gathered over one function's allocation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct AllocStats {
+    /// Copies present before allocation (after ABI/φ lowering).
+    pub copies_before: usize,
+    /// Copies removed because source and destination received the same
+    /// register — the paper's "eliminated move instructions by coalescing"
+    /// (Figure 9 a/c).
+    pub moves_eliminated: usize,
+    /// Copies remaining in the machine code.
+    pub copies_remaining: usize,
+    /// Reloads inserted by spilling.
+    pub spill_loads: usize,
+    /// Stores inserted by spilling.
+    pub spill_stores: usize,
+    /// Total spill instructions — the paper's "generated spill code"
+    /// (Figure 9 b/d).
+    pub spill_instructions: usize,
+    /// Caller-side save/restore instructions inserted around calls for
+    /// live-across values held in volatile registers.
+    pub caller_save_insts: usize,
+    /// Distinct non-volatile registers the function uses (each costs a
+    /// prologue/epilogue save+restore).
+    pub nonvolatiles_used: usize,
+    /// Paired loads fused by the rewriter.
+    pub paired_loads: usize,
+    /// Zero-extensions inserted after byte loads whose destination is not
+    /// byte-capable (the limited-usage preference failed or was absent).
+    pub zero_extensions: usize,
+    /// Allocation rounds (1 = no spilling iteration needed).
+    pub rounds: usize,
+    /// Frame slots used (spills plus caller-save shadows).
+    pub frame_slots: u32,
+    /// Integer-class breakdown.
+    pub int: ClassStats,
+    /// Float-class breakdown.
+    pub float: ClassStats,
+}
+
+impl AllocStats {
+    /// The breakdown for one class.
+    pub fn class(&self, class: RegClass) -> &ClassStats {
+        match class {
+            RegClass::Int => &self.int,
+            RegClass::Float => &self.float,
+        }
+    }
+
+    /// Mutable breakdown for one class.
+    pub fn class_mut(&mut self, class: RegClass) -> &mut ClassStats {
+        match class {
+            RegClass::Int => &mut self.int,
+            RegClass::Float => &mut self.float,
+        }
+    }
+
+    /// Element-wise accumulation (`rounds` takes the maximum).
+    pub fn accumulate(&mut self, other: &AllocStats) {
+        self.int.accumulate(&other.int);
+        self.float.accumulate(&other.float);
+        self.copies_before += other.copies_before;
+        self.moves_eliminated += other.moves_eliminated;
+        self.copies_remaining += other.copies_remaining;
+        self.spill_loads += other.spill_loads;
+        self.spill_stores += other.spill_stores;
+        self.spill_instructions += other.spill_instructions;
+        self.caller_save_insts += other.caller_save_insts;
+        self.nonvolatiles_used += other.nonvolatiles_used;
+        self.paired_loads += other.paired_loads;
+        self.zero_extensions += other.zero_extensions;
+        self.rounds = self.rounds.max(other.rounds);
+        self.frame_slots += other.frame_slots;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_sums_and_maxes() {
+        let mut a = AllocStats {
+            copies_before: 10,
+            moves_eliminated: 8,
+            rounds: 1,
+            ..Default::default()
+        };
+        let b = AllocStats {
+            copies_before: 5,
+            moves_eliminated: 5,
+            rounds: 3,
+            ..Default::default()
+        };
+        a.accumulate(&b);
+        assert_eq!(a.copies_before, 15);
+        assert_eq!(a.moves_eliminated, 13);
+        assert_eq!(a.rounds, 3);
+    }
+}

@@ -1,0 +1,299 @@
+//! A convenience builder for [`Function`]s.
+
+use crate::{
+    BinOp, Block, BlockData, CalleeId, CmpOp, FuncSig, Function, Inst, Phi, RegClass, VReg,
+};
+
+/// Incrementally constructs a [`Function`].
+///
+/// The builder starts positioned at the entry block. Create further blocks
+/// with [`create_block`](Self::create_block), move between them with
+/// [`switch_to`](Self::switch_to), and append instructions with the typed
+/// helpers. Each helper that produces a value allocates and returns a fresh
+/// [`VReg`], keeping the emitted code in SSA form by construction (reusing
+/// destinations is still possible via [`emit`](Self::emit) for non-SSA
+/// code).
+///
+/// # Example
+///
+/// ```
+/// use pdgc_ir::{FunctionBuilder, RegClass, BinOp, CmpOp};
+///
+/// // fn count(n) { s = 0; for (i = n; i != 0; i -= 1) s += i; return s }
+/// let mut b = FunctionBuilder::new("count", vec![RegClass::Int], Some(RegClass::Int));
+/// let n = b.param(0);
+/// let header = b.create_block();
+/// let exit = b.create_block();
+/// b.jump(header);
+/// b.switch_to(header);
+/// // (loop elided)
+/// b.switch_to(exit);
+/// b.ret(Some(n));
+/// # let _ = (header, exit);
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    func: Function,
+    current: Block,
+}
+
+impl FunctionBuilder {
+    /// Starts a new function with the given name and signature and positions
+    /// the builder at the freshly created entry block.
+    pub fn new(name: &str, params: Vec<RegClass>, ret: Option<RegClass>) -> Self {
+        let param_vregs: Vec<VReg> = params.iter().map(|_| VReg::new(0)).collect();
+        let mut func = Function {
+            name: name.to_string(),
+            sig: FuncSig {
+                params: params.clone(),
+                ret,
+            },
+            param_vregs,
+            blocks: vec![BlockData::default()],
+            vreg_classes: Vec::new(),
+            callees: Vec::new(),
+        };
+        for (i, &class) in params.iter().enumerate() {
+            let v = func.new_vreg(class);
+            func.param_vregs[i] = v;
+        }
+        FunctionBuilder {
+            func,
+            current: Block::ENTRY,
+        }
+    }
+
+    /// The virtual register holding parameter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn param(&self, i: usize) -> VReg {
+        self.func.param_vregs[i]
+    }
+
+    /// Allocates a fresh virtual register of the given class.
+    pub fn new_vreg(&mut self, class: RegClass) -> VReg {
+        self.func.new_vreg(class)
+    }
+
+    /// Creates a new, empty block (does not move the builder).
+    pub fn create_block(&mut self) -> Block {
+        self.func.blocks.push(BlockData::default());
+        Block::new(self.func.blocks.len() - 1)
+    }
+
+    /// Moves the builder to `block`.
+    pub fn switch_to(&mut self, block: Block) {
+        self.current = block;
+    }
+
+    /// The block currently being appended to.
+    pub fn current_block(&self) -> Block {
+        self.current
+    }
+
+    /// Appends a raw instruction to the current block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the current block is already terminated.
+    pub fn emit(&mut self, inst: Inst) {
+        let block = self.func.block_mut(self.current);
+        if let Some(last) = block.insts.last() {
+            assert!(
+                !last.is_terminator(),
+                "emitting {inst:?} into terminated block {}",
+                self.current
+            );
+        }
+        block.insts.push(inst);
+    }
+
+    /// Emits `dst = value` for a fresh integer register.
+    pub fn iconst(&mut self, value: i64) -> VReg {
+        let dst = self.new_vreg(RegClass::Int);
+        self.emit(Inst::Iconst { dst, value });
+        dst
+    }
+
+    /// Emits `dst = value` for a fresh float register.
+    pub fn fconst(&mut self, value: f64) -> VReg {
+        let dst = self.new_vreg(RegClass::Float);
+        self.emit(Inst::Fconst { dst, value });
+        dst
+    }
+
+    /// Emits `dst = src` for a fresh register of `src`'s class.
+    pub fn copy(&mut self, src: VReg) -> VReg {
+        let dst = self.new_vreg(self.func.class_of(src));
+        self.emit(Inst::Copy { dst, src });
+        dst
+    }
+
+    /// Emits `dst = src` into an existing destination register.
+    pub fn copy_to(&mut self, dst: VReg, src: VReg) {
+        self.emit(Inst::Copy { dst, src });
+    }
+
+    /// Emits an integer load `dst = [base + offset]`.
+    pub fn load(&mut self, base: VReg, offset: i32) -> VReg {
+        let dst = self.new_vreg(RegClass::Int);
+        self.emit(Inst::Load { dst, base, offset });
+        dst
+    }
+
+    /// Emits a byte load `dst = zx([base + offset] & 0xff)`.
+    pub fn load8(&mut self, base: VReg, offset: i32) -> VReg {
+        let dst = self.new_vreg(RegClass::Int);
+        self.emit(Inst::Load8 { dst, base, offset });
+        dst
+    }
+
+    /// Emits a float load `dst = [base + offset]`.
+    pub fn fload(&mut self, base: VReg, offset: i32) -> VReg {
+        let dst = self.new_vreg(RegClass::Float);
+        self.emit(Inst::Load { dst, base, offset });
+        dst
+    }
+
+    /// Emits a store `[base + offset] = src`.
+    pub fn store(&mut self, src: VReg, base: VReg, offset: i32) {
+        self.emit(Inst::Store { src, base, offset });
+    }
+
+    /// Emits `dst = lhs op rhs` for a fresh register of the operator's class.
+    pub fn bin(&mut self, op: BinOp, lhs: VReg, rhs: VReg) -> VReg {
+        let class = if op.is_float() {
+            RegClass::Float
+        } else {
+            RegClass::Int
+        };
+        let dst = self.new_vreg(class);
+        self.emit(Inst::Bin { op, dst, lhs, rhs });
+        dst
+    }
+
+    /// Emits `dst = lhs op imm` (integer only).
+    pub fn bin_imm(&mut self, op: BinOp, lhs: VReg, imm: i64) -> VReg {
+        assert!(!op.is_float(), "bin_imm is integer-only");
+        let dst = self.new_vreg(RegClass::Int);
+        self.emit(Inst::BinImm { dst, op, lhs, imm });
+        dst
+    }
+
+    /// Emits a call `ret = callee(args...)`; `ret_class` selects whether a
+    /// value is produced and in which class.
+    pub fn call(&mut self, callee: &str, args: Vec<VReg>, ret_class: Option<RegClass>) -> Option<VReg> {
+        let callee = self.func.intern_callee(callee);
+        let ret = ret_class.map(|c| self.func.new_vreg(c));
+        self.emit(Inst::Call { callee, args, ret });
+        ret
+    }
+
+    /// Emits an unconditional jump, terminating the current block.
+    pub fn jump(&mut self, target: Block) {
+        self.emit(Inst::Jump { target });
+    }
+
+    /// Emits a conditional branch, terminating the current block.
+    pub fn branch(&mut self, op: CmpOp, lhs: VReg, rhs: VReg, then_dst: Block, else_dst: Block) {
+        self.emit(Inst::Branch {
+            op,
+            lhs,
+            rhs,
+            then_dst,
+            else_dst,
+        });
+    }
+
+    /// Emits a conditional branch against an immediate, terminating the
+    /// current block.
+    pub fn branch_imm(&mut self, op: CmpOp, lhs: VReg, imm: i64, then_dst: Block, else_dst: Block) {
+        self.emit(Inst::BranchImm {
+            op,
+            lhs,
+            imm,
+            then_dst,
+            else_dst,
+        });
+    }
+
+    /// Emits a return, terminating the current block.
+    pub fn ret(&mut self, value: Option<VReg>) {
+        self.emit(Inst::Ret { value });
+    }
+
+    /// Adds a φ-function at the head of the current block and returns its
+    /// destination.
+    pub fn phi(&mut self, class: RegClass, args: Vec<(Block, VReg)>) -> VReg {
+        let dst = self.new_vreg(class);
+        self.func
+            .block_mut(self.current)
+            .phis
+            .push(Phi { dst, args });
+        dst
+    }
+
+    /// Interns a callee name without emitting a call.
+    pub fn intern_callee(&mut self, name: &str) -> CalleeId {
+        self.func.intern_callee(name)
+    }
+
+    /// Finishes construction and returns the function.
+    ///
+    /// The function is *not* verified automatically; call
+    /// [`Function::verify`] when invariants should be checked.
+    pub fn finish(self) -> Function {
+        self.func
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_have_declared_classes() {
+        let b = FunctionBuilder::new(
+            "f",
+            vec![RegClass::Int, RegClass::Float],
+            Some(RegClass::Float),
+        );
+        let f0 = b.param(0);
+        let f1 = b.param(1);
+        assert_ne!(f0, f1);
+    }
+
+    #[test]
+    #[should_panic(expected = "terminated block")]
+    fn emit_after_terminator_panics() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        b.ret(None);
+        b.iconst(1);
+    }
+
+    #[test]
+    fn call_produces_value_of_requested_class() {
+        let mut b = FunctionBuilder::new("f", vec![], Some(RegClass::Float));
+        let r = b.call("sin", vec![], Some(RegClass::Float)).unwrap();
+        b.ret(Some(r));
+        let f = b.finish();
+        assert_eq!(f.class_of(r), RegClass::Float);
+        assert_eq!(f.callees, vec!["sin".to_string()]);
+        assert!(f.verify().is_ok());
+    }
+
+    #[test]
+    fn builder_roundtrip_verifies() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let one = b.iconst(1);
+        let s = b.bin(BinOp::Add, p, one);
+        let t = b.bin_imm(BinOp::Mul, s, 3);
+        b.ret(Some(t));
+        let f = b.finish();
+        assert!(f.verify().is_ok());
+        assert_eq!(f.num_insts(), 4);
+    }
+}

@@ -1,0 +1,130 @@
+//! Textual rendering of functions (for diagnostics, examples, and tests).
+
+use crate::{Function, Inst};
+use std::fmt;
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {}(", self.name)?;
+        for (i, v) in self.param_vregs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}: {}", self.sig.params[i])?;
+        }
+        write!(f, ")")?;
+        if let Some(r) = self.sig.ret {
+            write!(f, " -> {r}")?;
+        }
+        writeln!(f, " {{")?;
+        for b in self.block_ids() {
+            writeln!(f, "{b}:")?;
+            let data = self.block(b);
+            for phi in &data.phis {
+                write!(f, "    {} = phi", phi.dst)?;
+                for (i, (pred, v)) in phi.args.iter().enumerate() {
+                    write!(f, "{} [{pred}: {v}]", if i == 0 { " " } else { ", " })?;
+                }
+                writeln!(f)?;
+            }
+            for inst in &data.insts {
+                writeln!(f, "    {}", DisplayInst { inst, func: self })?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+/// Helper that renders one instruction with callee names resolved.
+struct DisplayInst<'a> {
+    inst: &'a Inst,
+    func: &'a Function,
+}
+
+impl fmt::Display for DisplayInst<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use crate::RegClass;
+        match self.inst {
+            Inst::Copy { dst, src } => write!(f, "{dst} = {src}"),
+            Inst::Iconst { dst, value } => write!(f, "{dst} = {value}"),
+            Inst::Fconst { dst, value } => write!(f, "{dst} = {value}f"),
+            Inst::Load { dst, base, offset } => {
+                if self.func.class_of(*dst) == RegClass::Float {
+                    write!(f, "{dst} = f64[{base}+{offset}]")
+                } else {
+                    write!(f, "{dst} = [{base}+{offset}]")
+                }
+            }
+            Inst::Load8 { dst, base, offset } => write!(f, "{dst} = byte [{base}+{offset}]"),
+            Inst::Store { src, base, offset } => {
+                if self.func.class_of(*src) == RegClass::Float {
+                    write!(f, "f64[{base}+{offset}] = {src}")
+                } else {
+                    write!(f, "[{base}+{offset}] = {src}")
+                }
+            }
+            Inst::Bin { op, dst, lhs, rhs } => write!(f, "{dst} = {op} {lhs}, {rhs}"),
+            Inst::BinImm { op, dst, lhs, imm } => write!(f, "{dst} = {op} {lhs}, #{imm}"),
+            Inst::Call { callee, args, ret } => {
+                if let Some(r) = ret {
+                    if self.func.class_of(*r) == RegClass::Float {
+                        write!(f, "{r}: float = ")?;
+                    } else {
+                        write!(f, "{r} = ")?;
+                    }
+                }
+                write!(f, "call {}(", self.func.callees[callee.index()])?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Inst::Jump { target } => write!(f, "jump {target}"),
+            Inst::Branch {
+                op,
+                lhs,
+                rhs,
+                then_dst,
+                else_dst,
+            } => write!(f, "if {op} {lhs}, {rhs} goto {then_dst} else {else_dst}"),
+            Inst::BranchImm {
+                op,
+                lhs,
+                imm,
+                then_dst,
+                else_dst,
+            } => write!(f, "if {op} {lhs}, #{imm} goto {then_dst} else {else_dst}"),
+            Inst::Ret { value } => match value {
+                Some(v) => write!(f, "ret {v}"),
+                None => write!(f, "ret"),
+            },
+            Inst::Reload { dst, slot } => write!(f, "{dst} = frame[{slot}]"),
+            Inst::Spill { src, slot } => write!(f, "frame[{slot}] = {src}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{BinOp, FunctionBuilder, RegClass};
+
+    #[test]
+    fn display_is_readable() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let x = b.load(p, 8);
+        let y = b.bin(BinOp::Add, x, p);
+        let r = b.call("g", vec![y], Some(RegClass::Int)).unwrap();
+        b.ret(Some(r));
+        let f = b.finish();
+        let s = f.to_string();
+        assert!(s.contains("fn f(v0: int) -> int"));
+        assert!(s.contains("v1 = [v0+8]"));
+        assert!(s.contains("v2 = add v1, v0"));
+        assert!(s.contains("v3 = call g(v2)"));
+        assert!(s.contains("ret v3"));
+    }
+}

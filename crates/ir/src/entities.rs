@@ -1,0 +1,101 @@
+//! Entity references: virtual registers, basic blocks, and register classes.
+
+use std::fmt;
+
+/// A virtual register: an SSA value or, after live-range renaming, a live
+/// range. The allocator's job is to map every `VReg` of a function to a
+/// physical register or a spill slot.
+///
+/// `VReg`s are dense indices into the owning [`Function`](crate::Function)'s
+/// register table, which records each register's [`RegClass`].
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VReg(u32);
+
+impl VReg {
+    /// Creates a virtual-register reference from its dense index.
+    pub fn new(index: usize) -> Self {
+        VReg(u32::try_from(index).expect("vreg index overflow"))
+    }
+
+    /// Returns the dense index of this virtual register.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A basic-block reference. Block 0 is always the function entry.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Block(u32);
+
+impl Block {
+    /// Creates a block reference from its dense index.
+    pub fn new(index: usize) -> Self {
+        Block(u32::try_from(index).expect("block index overflow"))
+    }
+
+    /// Returns the dense index of this block.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The function entry block.
+    pub const ENTRY: Block = Block(0);
+}
+
+impl fmt::Debug for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+impl fmt::Display for Block {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b{}", self.0)
+    }
+}
+
+/// A register class. Integer and floating-point registers are disjoint
+/// register files (as on IA-64, the paper's evaluation target), so
+/// allocation proceeds independently per class.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub enum RegClass {
+    /// General-purpose (integer/pointer) registers.
+    #[default]
+    Int,
+    /// Floating-point registers.
+    Float,
+}
+
+impl RegClass {
+    /// All register classes, in a fixed order.
+    pub const ALL: [RegClass; 2] = [RegClass::Int, RegClass::Float];
+
+    /// Returns a dense index for the class (0 = Int, 1 = Float).
+    pub fn index(self) -> usize {
+        match self {
+            RegClass::Int => 0,
+            RegClass::Float => 1,
+        }
+    }
+}
+
+impl fmt::Display for RegClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RegClass::Int => write!(f, "int"),
+            RegClass::Float => write!(f, "float"),
+        }
+    }
+}

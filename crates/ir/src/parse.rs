@@ -1,0 +1,802 @@
+//! A parser for the textual IR form produced by [`Function`]'s `Display`
+//! implementation.
+//!
+//! The syntax round-trips: `parse_function(&func.to_string())` yields a
+//! function structurally equal to `func`. The grammar, line-oriented:
+//!
+//! ```text
+//! fn NAME(v0: int, v1: float) -> int {     // or no "-> class"
+//! b0:
+//!     v2 = 5                                // iconst
+//!     v3 = 1.5f                             // fconst
+//!     v4 = [v0+8]                           // int load
+//!     v5 = f64[v0+8]                        // float load
+//!     v6 = byte [v0+0]                      // byte load
+//!     [v0+16] = v4                          // int store
+//!     f64[v0+24] = v3                       // float store
+//!     v7 = v4                               // copy
+//!     v8 = add v4, v2                       // bin
+//!     v9 = add v4, #3                       // bin with immediate
+//!     v10 = call g(v4, v5)                  // int-returning call
+//!     v11: float = call h()                 // float-returning call
+//!     call k(v4)                            // void call
+//!     v12 = phi [b0: v2], [b1: v8]          // φ (block head)
+//!     v13 = frame[0]                        // reload
+//!     frame[1] = v13                        // spill
+//!     jump b1
+//!     if ne v4, v2 goto b1 else b2
+//!     if ne v4, #0 goto b1 else b2
+//!     ret v8                                // or bare "ret"
+//! }
+//! ```
+//!
+//! Register classes are inferred: parameters and ascriptions are
+//! explicit, loads/constants/operators are self-evident, and copies/φs
+//! propagate to a fixpoint (an unconstrained copy cycle defaults to
+//! `int`). The result is [`Function::verify`]-checked before being
+//! returned.
+
+use crate::{
+    BinOp, Block, BlockData, CmpOp, FuncSig, Function, Inst, Phi, RegClass, VReg,
+};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A parse failure, with a 1-based line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// Line the error was found on (1-based; 0 = whole input).
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+macro_rules! perr {
+    ($line:expr, $($arg:tt)*) => {
+        return Err(ParseError { line: $line, message: format!($($arg)*) })
+    };
+}
+
+/// Parses the textual form of one function.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed syntax, and converts any
+/// [`VerifyError`](crate::VerifyError) on the assembled function into a
+/// `ParseError` at line 0.
+pub fn parse_function(text: &str) -> Result<Function, ParseError> {
+    Parser::new(text).parse()
+}
+
+struct Parser<'a> {
+    lines: Vec<(usize, &'a str)>,
+    pos: usize,
+    /// Highest vreg index referenced.
+    max_vreg: usize,
+    /// Class constraints gathered while parsing.
+    known: HashMap<usize, RegClass>,
+    /// Same-class constraints (copy/φ edges) for the fixpoint.
+    same: Vec<(usize, usize)>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        let lines = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, strip_comment(l).trim()))
+            .filter(|(_, l)| !l.is_empty())
+            .collect();
+        Parser {
+            lines,
+            pos: 0,
+            max_vreg: 0,
+            known: HashMap::new(),
+            same: Vec::new(),
+        }
+    }
+
+    fn next_line(&mut self) -> Option<(usize, &'a str)> {
+        let l = self.lines.get(self.pos).copied();
+        self.pos += 1;
+        l
+    }
+
+    fn parse(mut self) -> Result<Function, ParseError> {
+        let (ln, header) = self
+            .next_line()
+            .ok_or_else(|| ParseError {
+                line: 0,
+                message: "empty input".into(),
+            })?;
+        let (name, params, ret) = self.parse_header(ln, header)?;
+        for (i, &(v, c)) in params.iter().enumerate() {
+            let _ = i;
+            self.note_class(ln, v, c)?;
+        }
+
+        let mut blocks: Vec<BlockData> = Vec::new();
+        let mut callees: Vec<String> = Vec::new();
+        loop {
+            let Some((ln, line)) = self.next_line() else {
+                perr!(0, "missing closing brace");
+            };
+            if line == "}" {
+                break;
+            }
+            if let Some(label) = line.strip_suffix(':') {
+                let idx = parse_block(ln, label)?;
+                if idx.index() != blocks.len() {
+                    perr!(ln, "blocks must be declared in order; expected b{}", blocks.len());
+                }
+                blocks.push(BlockData::default());
+                continue;
+            }
+            let Some(block) = blocks.last_mut() else {
+                perr!(ln, "instruction before any block label");
+            };
+            if let Some(term) = block.insts.last() {
+                if term.is_terminator() {
+                    perr!(ln, "instruction after terminator");
+                }
+            }
+            // Split borrows: parse into locals, then push.
+            let mut evidence: Vec<(usize, RegClass)> = Vec::new();
+            let parsed = parse_line(ln, line, &mut callees, &mut evidence)?;
+            for (v, c) in evidence {
+                self.note_class(ln, v, c)?;
+            }
+            match parsed {
+                Parsed::Inst(inst) => {
+                    self.note_inst(ln, &inst)?;
+                    block.insts.push(inst);
+                }
+                Parsed::Phi(phi) => {
+                    if !block.insts.is_empty() {
+                        perr!(ln, "phi after a non-phi instruction");
+                    }
+                    self.note_phi(&phi);
+                    block.phis.push(phi);
+                }
+            }
+        }
+        if let Some((ln, _)) = self.next_line() {
+            perr!(ln, "trailing content after closing brace");
+        }
+
+        // Resolve classes to a fixpoint.
+        let mut classes = vec![None; self.max_vreg + 1];
+        for (&v, &c) in &self.known {
+            classes[v] = Some(c);
+        }
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &(a, b) in &self.same {
+                match (classes[a], classes[b]) {
+                    (Some(ca), Some(cb)) if ca != cb => {
+                        perr!(0, "v{a} and v{b} are constrained to different classes")
+                    }
+                    (Some(c), None) => {
+                        classes[b] = Some(c);
+                        changed = true;
+                    }
+                    (None, Some(c)) => {
+                        classes[a] = Some(c);
+                        changed = true;
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let vreg_classes: Vec<RegClass> =
+            classes.into_iter().map(|c| c.unwrap_or(RegClass::Int)).collect();
+
+        let func = Function {
+            name,
+            sig: FuncSig {
+                params: params.iter().map(|&(_, c)| c).collect(),
+                ret,
+            },
+            param_vregs: params.iter().map(|&(v, _)| VReg::new(v)).collect(),
+            blocks,
+            vreg_classes,
+            callees,
+        };
+        func.verify().map_err(|e| ParseError {
+            line: 0,
+            message: e.to_string(),
+        })?;
+        Ok(func)
+    }
+
+    #[allow(clippy::type_complexity)]
+    fn parse_header(
+        &mut self,
+        ln: usize,
+        line: &str,
+    ) -> Result<(String, Vec<(usize, RegClass)>, Option<RegClass>), ParseError> {
+        let Some(rest) = line.strip_prefix("fn ") else {
+            perr!(ln, "expected `fn NAME(...)`");
+        };
+        let Some(open) = rest.find('(') else {
+            perr!(ln, "expected `(` in function header");
+        };
+        let name = rest[..open].trim().to_string();
+        let Some(close) = rest.find(')') else {
+            perr!(ln, "expected `)` in function header");
+        };
+        let mut params = Vec::new();
+        let plist = &rest[open + 1..close];
+        if !plist.trim().is_empty() {
+            for part in plist.split(',') {
+                let Some((v, c)) = part.split_once(':') else {
+                    perr!(ln, "parameter `{part}` must be `vN: class`");
+                };
+                let v = parse_vreg(ln, v.trim())?;
+                self.touch(v);
+                params.push((v, parse_class(ln, c.trim())?));
+            }
+        }
+        let tail = rest[close + 1..].trim();
+        let ret = if let Some(r) = tail.strip_prefix("->") {
+            let r = r.trim().trim_end_matches('{').trim();
+            Some(parse_class(ln, r)?)
+        } else if tail == "{" {
+            None
+        } else {
+            perr!(ln, "expected `{{` or `-> class {{` after parameters");
+        };
+        Ok((name, params, ret))
+    }
+
+    fn touch(&mut self, v: usize) {
+        self.max_vreg = self.max_vreg.max(v);
+    }
+
+    fn note_class(&mut self, ln: usize, v: usize, c: RegClass) -> Result<(), ParseError> {
+        self.touch(v);
+        if let Some(&prev) = self.known.get(&v) {
+            if prev != c {
+                perr!(ln, "v{v} used as both {prev} and {c}");
+            }
+        }
+        self.known.insert(v, c);
+        Ok(())
+    }
+
+    fn note_same(&mut self, a: usize, b: usize) {
+        self.touch(a);
+        self.touch(b);
+        self.same.push((a, b));
+    }
+
+    /// Records class evidence from one instruction.
+    fn note_inst(&mut self, ln: usize, inst: &Inst) -> Result<(), ParseError> {
+        // Touch everything first so max_vreg is right.
+        if let Some(d) = inst.def() {
+            self.touch(d.index());
+        }
+        inst.visit_uses(|u| self.max_vreg = self.max_vreg.max(u.index()));
+        match inst {
+            Inst::Copy { dst, src } => self.note_same(dst.index(), src.index()),
+            Inst::Iconst { dst, .. } => self.note_class(ln, dst.index(), RegClass::Int)?,
+            Inst::Fconst { dst, .. } => self.note_class(ln, dst.index(), RegClass::Float)?,
+            Inst::Load { base, .. } | Inst::Store { base, .. } => {
+                // dst/src class was recorded by the caller (syntax marker).
+                self.note_class(ln, base.index(), RegClass::Int)?;
+            }
+            Inst::Load8 { dst, base, .. } => {
+                self.note_class(ln, dst.index(), RegClass::Int)?;
+                self.note_class(ln, base.index(), RegClass::Int)?;
+            }
+            Inst::Bin { op, dst, lhs, rhs } => {
+                let c = if op.is_float() {
+                    RegClass::Float
+                } else {
+                    RegClass::Int
+                };
+                for v in [dst, lhs, rhs] {
+                    self.note_class(ln, v.index(), c)?;
+                }
+            }
+            Inst::BinImm { dst, lhs, .. } => {
+                self.note_class(ln, dst.index(), RegClass::Int)?;
+                self.note_class(ln, lhs.index(), RegClass::Int)?;
+            }
+            Inst::Branch { lhs, rhs, .. } => {
+                self.note_class(ln, lhs.index(), RegClass::Int)?;
+                self.note_class(ln, rhs.index(), RegClass::Int)?;
+            }
+            Inst::BranchImm { lhs, .. } => self.note_class(ln, lhs.index(), RegClass::Int)?,
+            Inst::Call { .. }
+            | Inst::Jump { .. }
+            | Inst::Ret { .. }
+            | Inst::Reload { .. }
+            | Inst::Spill { .. } => {}
+        }
+        Ok(())
+    }
+
+    fn note_phi(&mut self, phi: &Phi) {
+        self.touch(phi.dst.index());
+        for &(_, v) in &phi.args {
+            self.note_same(phi.dst.index(), v.index());
+        }
+    }
+}
+
+enum Parsed {
+    Inst(Inst),
+    Phi(Phi),
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+fn parse_vreg(ln: usize, s: &str) -> Result<usize, ParseError> {
+    let Some(n) = s.strip_prefix('v') else {
+        perr!(ln, "expected a virtual register, got `{s}`");
+    };
+    n.parse()
+        .map_err(|_| ParseError {
+            line: ln,
+            message: format!("bad register `{s}`"),
+        })
+}
+
+fn vreg(ln: usize, s: &str) -> Result<VReg, ParseError> {
+    Ok(VReg::new(parse_vreg(ln, s)?))
+}
+
+fn parse_block(ln: usize, s: &str) -> Result<Block, ParseError> {
+    let Some(n) = s.strip_prefix('b') else {
+        perr!(ln, "expected a block label, got `{s}`");
+    };
+    let i: usize = n.parse().map_err(|_| ParseError {
+        line: ln,
+        message: format!("bad block `{s}`"),
+    })?;
+    Ok(Block::new(i))
+}
+
+fn parse_class(ln: usize, s: &str) -> Result<RegClass, ParseError> {
+    match s {
+        "int" => Ok(RegClass::Int),
+        "float" => Ok(RegClass::Float),
+        other => perr!(ln, "unknown register class `{other}`"),
+    }
+}
+
+fn parse_imm(ln: usize, s: &str) -> Result<i64, ParseError> {
+    let s = s.strip_prefix('#').unwrap_or(s);
+    s.parse().map_err(|_| ParseError {
+        line: ln,
+        message: format!("bad immediate `{s}`"),
+    })
+}
+
+/// Parses a `[base+off]` or `f64[base+off]` or `frame[slot]` address.
+fn parse_addr(ln: usize, s: &str) -> Result<(VReg, i32), ParseError> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| ParseError {
+            line: ln,
+            message: format!("expected `[base+offset]`, got `{s}`"),
+        })?;
+    // base+off or base+-off (negative offsets print as "+-5").
+    let (b, o) = inner.split_once('+').ok_or_else(|| ParseError {
+        line: ln,
+        message: format!("expected `base+offset` in `{s}`"),
+    })?;
+    let off: i32 = o.parse().map_err(|_| ParseError {
+        line: ln,
+        message: format!("bad offset `{o}`"),
+    })?;
+    Ok((vreg(ln, b.trim())?, off))
+}
+
+fn parse_cmp(ln: usize, s: &str) -> Result<CmpOp, ParseError> {
+    match s {
+        "eq" => Ok(CmpOp::Eq),
+        "ne" => Ok(CmpOp::Ne),
+        "lt" => Ok(CmpOp::Lt),
+        "le" => Ok(CmpOp::Le),
+        "gt" => Ok(CmpOp::Gt),
+        "ge" => Ok(CmpOp::Ge),
+        other => perr!(ln, "unknown comparison `{other}`"),
+    }
+}
+
+fn parse_binop(s: &str) -> Option<BinOp> {
+    Some(match s {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        "fadd" => BinOp::FAdd,
+        "fsub" => BinOp::FSub,
+        "fmul" => BinOp::FMul,
+        "fdiv" => BinOp::FDiv,
+        _ => return None,
+    })
+}
+
+fn intern(callees: &mut Vec<String>, name: &str) -> crate::CalleeId {
+    if let Some(i) = callees.iter().position(|c| c == name) {
+        crate::CalleeId::new(i)
+    } else {
+        callees.push(name.to_string());
+        crate::CalleeId::new(callees.len() - 1)
+    }
+}
+
+/// Parses a call tail: `NAME(arg, ...)`.
+fn parse_call(
+    ln: usize,
+    s: &str,
+    callees: &mut Vec<String>,
+    ret: Option<VReg>,
+) -> Result<Inst, ParseError> {
+    let Some(open) = s.find('(') else {
+        perr!(ln, "expected `(` in call");
+    };
+    let Some(close) = s.rfind(')') else {
+        perr!(ln, "expected `)` in call");
+    };
+    let name = s[..open].trim();
+    let mut args = Vec::new();
+    let alist = &s[open + 1..close];
+    if !alist.trim().is_empty() {
+        for a in alist.split(',') {
+            args.push(vreg(ln, a.trim())?);
+        }
+    }
+    Ok(Inst::Call {
+        callee: intern(callees, name),
+        args,
+        ret,
+    })
+}
+
+fn parse_line(
+    ln: usize,
+    line: &str,
+    callees: &mut Vec<String>,
+    evidence: &mut Vec<(usize, RegClass)>,
+) -> Result<Parsed, ParseError> {
+    // Control flow.
+    if let Some(t) = line.strip_prefix("jump ") {
+        return Ok(Parsed::Inst(Inst::Jump {
+            target: parse_block(ln, t.trim())?,
+        }));
+    }
+    if line == "ret" {
+        return Ok(Parsed::Inst(Inst::Ret { value: None }));
+    }
+    if let Some(v) = line.strip_prefix("ret ") {
+        return Ok(Parsed::Inst(Inst::Ret {
+            value: Some(vreg(ln, v.trim())?),
+        }));
+    }
+    if let Some(rest) = line.strip_prefix("if ") {
+        // `OP lhs, rhs goto bX else bY` (rhs may be #imm)
+        let Some((cond, targets)) = rest.split_once(" goto ") else {
+            perr!(ln, "expected `goto` in branch");
+        };
+        let Some((then_s, else_s)) = targets.split_once(" else ") else {
+            perr!(ln, "expected `else` in branch");
+        };
+        let mut it = cond.splitn(2, ' ');
+        let op = parse_cmp(ln, it.next().unwrap_or(""))?;
+        let operands = it.next().unwrap_or("");
+        let Some((lhs_s, rhs_s)) = operands.split_once(',') else {
+            perr!(ln, "expected two branch operands");
+        };
+        let lhs = vreg(ln, lhs_s.trim())?;
+        let rhs_s = rhs_s.trim();
+        let then_dst = parse_block(ln, then_s.trim())?;
+        let else_dst = parse_block(ln, else_s.trim())?;
+        return Ok(Parsed::Inst(if let Some(imm) = rhs_s.strip_prefix('#') {
+            Inst::BranchImm {
+                op,
+                lhs,
+                imm: parse_imm(ln, imm)?,
+                then_dst,
+                else_dst,
+            }
+        } else {
+            Inst::Branch {
+                op,
+                lhs,
+                rhs: vreg(ln, rhs_s)?,
+                then_dst,
+                else_dst,
+            }
+        }));
+    }
+    // Void call.
+    if let Some(c) = line.strip_prefix("call ") {
+        return Ok(Parsed::Inst(parse_call(ln, c, callees, None)?));
+    }
+    // Stores: `[b+o] = v`, `f64[b+o] = v`, `frame[s] = v`.
+    if line.starts_with('[') || line.starts_with("f64[") || line.starts_with("frame[") {
+        let Some((addr_s, src_s)) = line.split_once('=') else {
+            perr!(ln, "expected `=` in store");
+        };
+        let (addr_s, src_s) = (addr_s.trim(), src_s.trim());
+        if let Some(slot_s) = addr_s.strip_prefix("frame[") {
+            let slot: u32 = slot_s
+                .strip_suffix(']')
+                .and_then(|x| x.parse().ok())
+                .ok_or_else(|| ParseError {
+                    line: ln,
+                    message: format!("bad frame slot in `{addr_s}`"),
+                })?;
+            return Ok(Parsed::Inst(Inst::Spill {
+                src: vreg(ln, src_s)?,
+                slot,
+            }));
+        }
+        let is_float = addr_s.starts_with("f64");
+        let bare = addr_s.strip_prefix("f64").unwrap_or(addr_s);
+        let (base, offset) = parse_addr(ln, bare)?;
+        let src = vreg(ln, src_s)?;
+        evidence.push((
+            src.index(),
+            if is_float { RegClass::Float } else { RegClass::Int },
+        ));
+        return Ok(Parsed::Inst(Inst::Store { src, base, offset }));
+    }
+
+    // Everything else defines a register: `vN[: class] = RHS`.
+    let Some((lhs_s, rhs_s)) = line.split_once('=') else {
+        perr!(ln, "unrecognized instruction `{line}`");
+    };
+    let (lhs_s, rhs) = (lhs_s.trim(), rhs_s.trim());
+    let (dst_s, ascription) = match lhs_s.split_once(':') {
+        Some((d, c)) => (d.trim(), Some(parse_class(ln, c.trim())?)),
+        None => (lhs_s, None),
+    };
+    let dst = vreg(ln, dst_s)?;
+    if let Some(c) = ascription {
+        evidence.push((dst.index(), c));
+    }
+
+    // φ.
+    if let Some(p) = rhs.strip_prefix("phi ") {
+        let mut args = Vec::new();
+        for part in p.split("],") {
+            let part = part.trim().trim_start_matches('[').trim_end_matches(']');
+            let Some((b, v)) = part.split_once(':') else {
+                perr!(ln, "phi arg `{part}` must be `[bN: vM]`");
+            };
+            args.push((parse_block(ln, b.trim())?, vreg(ln, v.trim())?));
+        }
+        return Ok(Parsed::Phi(Phi { dst, args }));
+    }
+    // Call with result: the ascription decides the class (default int).
+    if let Some(c) = rhs.strip_prefix("call ") {
+        let inst = parse_call(ln, c, callees, Some(dst))?;
+        evidence.push((dst.index(), ascription.unwrap_or(RegClass::Int)));
+        return Ok(Parsed::Inst(inst));
+    }
+    // Reload.
+    if let Some(slot_s) = rhs.strip_prefix("frame[") {
+        let slot: u32 = slot_s
+            .strip_suffix(']')
+            .and_then(|x| x.parse().ok())
+            .ok_or_else(|| ParseError {
+                line: ln,
+                message: format!("bad frame slot in `{rhs}`"),
+            })?;
+        return Ok(Parsed::Inst(Inst::Reload { dst, slot }));
+    }
+    // Byte load.
+    if let Some(a) = rhs.strip_prefix("byte ") {
+        let (base, offset) = parse_addr(ln, a.trim())?;
+        return Ok(Parsed::Inst(Inst::Load8 { dst, base, offset }));
+    }
+    // Float load.
+    if let Some(a) = rhs.strip_prefix("f64[") {
+        let (base, offset) = parse_addr(ln, &format!("[{a}"))?;
+        evidence.push((dst.index(), RegClass::Float));
+        return Ok(Parsed::Inst(Inst::Load { dst, base, offset }));
+    }
+    // Int load.
+    if rhs.starts_with('[') {
+        let (base, offset) = parse_addr(ln, rhs)?;
+        evidence.push((dst.index(), RegClass::Int));
+        return Ok(Parsed::Inst(Inst::Load { dst, base, offset }));
+    }
+    // Binary op: `OP lhs, rhs` with rhs possibly `#imm`.
+    let mut it = rhs.splitn(2, ' ');
+    let head = it.next().unwrap_or("");
+    if let Some(op) = parse_binop(head) {
+        let operands = it.next().unwrap_or("");
+        let Some((a, b)) = operands.split_once(',') else {
+            perr!(ln, "expected two operands for `{head}`");
+        };
+        let lhs = vreg(ln, a.trim())?;
+        let b = b.trim();
+        return Ok(Parsed::Inst(if let Some(imm) = b.strip_prefix('#') {
+            Inst::BinImm {
+                op,
+                dst,
+                lhs,
+                imm: parse_imm(ln, imm)?,
+            }
+        } else {
+            Inst::Bin {
+                op,
+                dst,
+                lhs,
+                rhs: vreg(ln, b)?,
+            }
+        }));
+    }
+    // Float constant: `1.5f`.
+    if let Some(f) = rhs.strip_suffix('f') {
+        if let Ok(v) = f.parse::<f64>() {
+            return Ok(Parsed::Inst(Inst::Fconst { dst, value: v }));
+        }
+    }
+    // Integer constant.
+    if let Ok(v) = rhs.parse::<i64>() {
+        return Ok(Parsed::Inst(Inst::Iconst { dst, value: v }));
+    }
+    // Copy.
+    if rhs.starts_with('v') && !rhs.contains(' ') {
+        return Ok(Parsed::Inst(Inst::Copy {
+            dst,
+            src: vreg(ln, rhs)?,
+        }));
+    }
+    perr!(ln, "unrecognized right-hand side `{rhs}`")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FunctionBuilder;
+
+    fn roundtrip(f: &Function) {
+        let text = f.to_string();
+        let parsed = parse_function(&text)
+            .unwrap_or_else(|e| panic!("reparse of {} failed: {e}\n{text}", f.name));
+        assert_eq!(&parsed, f, "round-trip mismatch for {}\n{text}", f.name);
+    }
+
+    #[test]
+    fn roundtrip_straight_line() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let x = b.load(p, 8);
+        let y = b.load8(p, 0);
+        let s = b.bin(BinOp::Add, x, y);
+        let t = b.bin_imm(BinOp::Mul, s, -3);
+        b.store(t, p, 64);
+        b.ret(Some(t));
+        roundtrip(&b.finish());
+    }
+
+    #[test]
+    fn roundtrip_floats_and_calls() {
+        let mut b = FunctionBuilder::new("g", vec![RegClass::Float, RegClass::Int], None);
+        let q = b.param(0);
+        let p = b.param(1);
+        let h = b.fconst(0.5);
+        let m = b.bin(BinOp::FMul, q, h);
+        b.store(m, p, 0);
+        let fl = b.fload(p, 16);
+        let r = b.call("sin", vec![fl], Some(RegClass::Float)).unwrap();
+        let i = b.call("trunc", vec![r], Some(RegClass::Int)).unwrap();
+        b.call("log", vec![i], None);
+        b.ret(None);
+        roundtrip(&b.finish());
+    }
+
+    #[test]
+    fn roundtrip_control_flow_and_phi() {
+        let mut b = FunctionBuilder::new("h", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let t = b.create_block();
+        let e = b.create_block();
+        let j = b.create_block();
+        b.branch_imm(CmpOp::Ge, p, 10, t, e);
+        b.switch_to(t);
+        let a = b.iconst(1);
+        b.jump(j);
+        b.switch_to(e);
+        let c = b.bin_imm(BinOp::Add, p, 1);
+        b.jump(j);
+        b.switch_to(j);
+        let m = b.phi(RegClass::Int, vec![(t, a), (e, c)]);
+        b.ret(Some(m));
+        roundtrip(&b.finish());
+    }
+
+    #[test]
+    fn roundtrip_branch_two_regs_and_spills() {
+        let mut b = FunctionBuilder::new("k", vec![RegClass::Int, RegClass::Int], None);
+        let p = b.param(0);
+        let q = b.param(1);
+        let t = b.create_block();
+        let e = b.create_block();
+        b.emit(Inst::Spill { src: p, slot: 3 });
+        let r = b.new_vreg(RegClass::Int);
+        b.emit(Inst::Reload { dst: r, slot: 3 });
+        b.branch(CmpOp::Lt, r, q, t, e);
+        b.switch_to(t);
+        b.ret(None);
+        b.switch_to(e);
+        b.ret(None);
+        roundtrip(&b.finish());
+    }
+
+    #[test]
+    fn roundtrip_generated_workloads() {
+        // The printer and parser must agree on everything the generator
+        // can produce (pre-lowering, φs included).
+        // Use a tiny custom program with comments stripped.
+        let text = "\
+fn demo(v0: int) -> int {   // header comment
+b0:
+    v1 = [v0+0]
+    v2 = xor v1, #255
+    ret v2
+}";
+        let f = parse_function(text).unwrap();
+        assert_eq!(f.name, "demo");
+        assert_eq!(f.num_insts(), 3);
+        roundtrip(&f);
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_function("fn f() {\nb0:\n    v0 = bogus v1\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+        let e = parse_function("not a function").unwrap_err();
+        assert!(e.message.contains("fn"));
+        let e = parse_function("fn f() {\nb0:\n    ret\n").unwrap_err();
+        assert!(e.message.contains("closing brace"));
+    }
+
+    #[test]
+    fn verify_failures_surface() {
+        // Branch to an out-of-range block.
+        let e = parse_function("fn f() {\nb0:\n    jump b7\n}").unwrap_err();
+        assert!(e.message.contains("out-of-range"), "{e}");
+    }
+
+    #[test]
+    fn float_call_needs_ascription() {
+        let text = "\
+fn f(v0: int) {
+b0:
+    v1: float = call sin()
+    f64[v0+0] = v1
+    ret
+}";
+        let f = parse_function(text).unwrap();
+        assert_eq!(f.class_of(VReg::new(1)), RegClass::Float);
+    }
+}

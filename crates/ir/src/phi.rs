@@ -1,0 +1,223 @@
+//! φ-functions and their lowering to copies.
+//!
+//! The paper motivates preference-directed coloring with SSA-form input:
+//! "a naïve SSA-transformed program has many copy operations, and therefore,
+//! it is necessary to remove as many copies as possible by a good register
+//! selection" (§1). [`lower_phis`] performs the naïve out-of-SSA translation
+//! — one copy per φ-argument at the end of each predecessor — producing
+//! exactly the copy-rich code that register coalescing must clean up.
+//!
+//! Lowering is *parallel-copy correct*: all φs at a block head conceptually
+//! execute simultaneously, so the copies inserted into a predecessor are
+//! sequentialized with cycle-breaking temporaries where needed.
+
+use crate::{Block, Function, Inst, VReg};
+use std::collections::HashMap;
+
+/// An SSA φ-function: `dst = φ(args[pred0], args[pred1], ...)`.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Phi {
+    /// The merged value.
+    pub dst: VReg,
+    /// One `(predecessor, value)` pair per incoming edge.
+    pub args: Vec<(Block, VReg)>,
+}
+
+impl Phi {
+    /// The incoming value for predecessor `pred`, if present.
+    pub fn arg_for(&self, pred: Block) -> Option<VReg> {
+        self.args.iter().find(|(b, _)| *b == pred).map(|(_, v)| *v)
+    }
+}
+
+/// Replaces all φ-functions with copies in predecessor blocks.
+///
+/// For each block `b` with φs and each predecessor `p`, a parallel copy
+/// `(dst_i ← arg_i)` is sequentialized and inserted immediately before
+/// `p`'s terminator. Critical edges must have been split beforehand (the
+/// builder's `jump`/`branch` helpers make this easy); lowering through a
+/// critical edge would incorrectly execute the copies on the other edge,
+/// so this function panics if a φ-block has a predecessor with multiple
+/// successors and the block itself has multiple predecessors.
+///
+/// Returns the number of copy instructions inserted.
+///
+/// # Panics
+///
+/// Panics on an unsplit critical edge into a φ-block.
+pub fn lower_phis(func: &mut Function) -> usize {
+    let mut inserted = 0;
+    // Collect per-predecessor parallel copies.
+    let mut pending: HashMap<Block, Vec<(VReg, VReg)>> = HashMap::new();
+    for b in func.block_ids() {
+        let phis = std::mem::take(&mut func.block_mut(b).phis);
+        if phis.is_empty() {
+            continue;
+        }
+        let npreds = preds_of(func, b).len();
+        for phi in &phis {
+            for &(pred, src) in &phi.args {
+                let pred_succs = func.block(pred).successors().len();
+                assert!(
+                    pred_succs == 1 || npreds == 1,
+                    "critical edge {pred} -> {b} must be split before phi lowering"
+                );
+                pending.entry(pred).or_default().push((phi.dst, src));
+            }
+        }
+    }
+    for (pred, moves) in pending {
+        let seq = sequentialize(func, &moves);
+        inserted += seq.len();
+        let insts = &mut func.block_mut(pred).insts;
+        let at = insts.len() - 1; // before the terminator
+        for (i, inst) in seq.into_iter().enumerate() {
+            insts.insert(at + i, inst);
+        }
+    }
+    inserted
+}
+
+/// Computes the predecessors of `b` by scanning terminators.
+fn preds_of(func: &Function, b: Block) -> Vec<Block> {
+    func.block_ids()
+        .filter(|&p| func.block(p).successors().contains(&b))
+        .collect()
+}
+
+/// Sequentializes a parallel copy `(dst ← src)*` into `Copy` instructions,
+/// breaking cycles with a fresh temporary per cycle.
+///
+/// Uses the standard worklist algorithm: emit any copy whose destination is
+/// not a pending source; when stuck, a cycle remains — rotate it through a
+/// temporary.
+fn sequentialize(func: &mut Function, moves: &[(VReg, VReg)]) -> Vec<Inst> {
+    let mut out = Vec::new();
+    // Drop no-op moves.
+    let mut pending: Vec<(VReg, VReg)> = moves
+        .iter()
+        .copied()
+        .filter(|(d, s)| d != s)
+        .collect();
+    // Destinations must be distinct (SSA guarantees this).
+    debug_assert!({
+        let mut ds: Vec<_> = pending.iter().map(|(d, _)| *d).collect();
+        ds.sort();
+        ds.dedup();
+        ds.len() == pending.len()
+    });
+    while !pending.is_empty() {
+        let ready = pending
+            .iter()
+            .position(|&(d, _)| !pending.iter().any(|&(_, s)| s == d));
+        match ready {
+            Some(i) => {
+                let (d, s) = pending.remove(i);
+                out.push(Inst::Copy { dst: d, src: s });
+            }
+            None => {
+                // Every destination is also a pending source: pure cycles.
+                // Break one by copying its source into a temporary.
+                let (d, s) = pending[0];
+                let tmp = func.new_vreg(func.class_of(d));
+                out.push(Inst::Copy { dst: tmp, src: s });
+                pending[0] = (d, tmp);
+                // Redirect other reads of `s`? Not needed: destinations are
+                // distinct, and only the cycle edge consuming `s` matters —
+                // any other pending copy reading `s` keeps the original
+                // value because `s` is only overwritten by the copy whose
+                // dst is `s`, which is still blocked until its readers run.
+                // We must, however, make the copy *writing* `s` runnable:
+                // it now is, since the read of `s` has been satisfied.
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FunctionBuilder, RegClass};
+
+    /// Builds a diamond: entry -> (left | right) -> join, with a φ at join.
+    fn diamond_with_phi() -> Function {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let left = b.create_block();
+        let right = b.create_block();
+        let join = b.create_block();
+        let zero = b.iconst(0);
+        b.branch(crate::CmpOp::Eq, p, zero, left, right);
+
+        b.switch_to(left);
+        let a = b.iconst(1);
+        b.jump(join);
+
+        b.switch_to(right);
+        let c = b.iconst(2);
+        b.jump(join);
+
+        b.switch_to(join);
+        let d = b.phi(RegClass::Int, vec![(left, a), (right, c)]);
+        b.ret(Some(d));
+        b.finish()
+    }
+
+    #[test]
+    fn lower_simple_phi() {
+        let mut f = diamond_with_phi();
+        assert!(f.verify().is_ok());
+        let n = lower_phis(&mut f);
+        assert_eq!(n, 2);
+        assert_eq!(f.num_copies(), 2);
+        // All φs gone.
+        assert!(f.blocks.iter().all(|b| b.phis.is_empty()));
+        assert!(f.verify().is_ok());
+    }
+
+    #[test]
+    fn sequentialize_swap_uses_temp() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int, RegClass::Int], None);
+        let x = b.param(0);
+        let y = b.param(1);
+        b.ret(None);
+        let mut f = b.finish();
+        let before = f.num_vregs();
+        let seq = sequentialize(&mut f, &[(x, y), (y, x)]);
+        // A swap needs three copies and one fresh temp.
+        assert_eq!(seq.len(), 3);
+        assert_eq!(f.num_vregs(), before + 1);
+    }
+
+    #[test]
+    fn sequentialize_chain_no_temp() {
+        let mut b = FunctionBuilder::new(
+            "f",
+            vec![RegClass::Int, RegClass::Int, RegClass::Int],
+            None,
+        );
+        let x = b.param(0);
+        let y = b.param(1);
+        let z = b.param(2);
+        b.ret(None);
+        let mut f = b.finish();
+        let before = f.num_vregs();
+        // z <- y, y <- x : must emit z<-y before y<-x.
+        let seq = sequentialize(&mut f, &[(y, x), (z, y)]);
+        assert_eq!(seq.len(), 2);
+        assert_eq!(f.num_vregs(), before);
+        assert_eq!(seq[0].as_copy(), Some((z, y)));
+        assert_eq!(seq[1].as_copy(), Some((y, x)));
+    }
+
+    #[test]
+    fn sequentialize_drops_noop() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], None);
+        let x = b.param(0);
+        b.ret(None);
+        let mut f = b.finish();
+        let seq = sequentialize(&mut f, &[(x, x)]);
+        assert!(seq.is_empty());
+    }
+}

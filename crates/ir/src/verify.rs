@@ -1,0 +1,313 @@
+//! Structural verification of functions.
+
+use crate::{Function, Inst, RegClass, VReg};
+use std::fmt;
+
+/// An invariant violation found by [`Function::verify`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct VerifyError {
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ir verify error: {}", self.message)
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+macro_rules! fail {
+    ($($arg:tt)*) => {
+        return Err(VerifyError { message: format!($($arg)*) })
+    };
+}
+
+impl Function {
+    /// Checks structural invariants:
+    ///
+    /// * at least one block; every block non-empty and terminated exactly at
+    ///   its end;
+    /// * all block references in range;
+    /// * all `VReg` references in range, with classes consistent with their
+    ///   instruction positions (e.g. `Load` base is integer, float `Bin`
+    ///   operands are float);
+    /// * φ arguments cover exactly the block's predecessors;
+    /// * parameter registers match the signature;
+    /// * `Ret` presence/absence of a value matches the signature.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violation found.
+    pub fn verify(&self) -> Result<(), VerifyError> {
+        if self.blocks.is_empty() {
+            fail!("function {} has no blocks", self.name);
+        }
+        if self.param_vregs.len() != self.sig.params.len() {
+            fail!("param vreg count != signature params");
+        }
+        for (i, (&v, &c)) in self.param_vregs.iter().zip(&self.sig.params).enumerate() {
+            self.check_vreg(v)?;
+            if self.class_of(v) != c {
+                fail!("param {i} register {v} has class {:?}, expected {c:?}", self.class_of(v));
+            }
+        }
+
+        // Predecessor map for φ checks.
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); self.blocks.len()];
+
+        for b in self.block_ids() {
+            let data = self.block(b);
+            let Some(last) = data.insts.last() else {
+                fail!("block {b} is empty");
+            };
+            if !last.is_terminator() {
+                fail!("block {b} does not end in a terminator");
+            }
+            for (i, inst) in data.insts.iter().enumerate() {
+                if inst.is_terminator() && i + 1 != data.insts.len() {
+                    fail!("terminator in the middle of block {b}");
+                }
+                self.check_inst(inst)?;
+            }
+            for s in last.successors() {
+                if s.index() >= self.blocks.len() {
+                    fail!("block {b} branches to out-of-range {s}");
+                }
+                preds[s.index()].push(b.index());
+            }
+        }
+
+        for b in self.block_ids() {
+            for phi in &self.block(b).phis {
+                self.check_vreg(phi.dst)?;
+                let mut seen: Vec<usize> = Vec::new();
+                for &(pred, v) in &phi.args {
+                    self.check_vreg(v)?;
+                    if self.class_of(v) != self.class_of(phi.dst) {
+                        fail!("phi {0} in {b} mixes classes", phi.dst);
+                    }
+                    if pred.index() >= self.blocks.len() {
+                        fail!("phi in {b} references out-of-range block {pred}");
+                    }
+                    if !preds[b.index()].contains(&pred.index()) {
+                        fail!("phi in {b} has arg for non-predecessor {pred}");
+                    }
+                    if seen.contains(&pred.index()) {
+                        fail!("phi in {b} has duplicate arg for {pred}");
+                    }
+                    seen.push(pred.index());
+                }
+                if seen.len() != preds[b.index()].len() {
+                    fail!(
+                        "phi in {b} covers {} of {} predecessors",
+                        seen.len(),
+                        preds[b.index()].len()
+                    );
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn check_vreg(&self, v: VReg) -> Result<(), VerifyError> {
+        if v.index() >= self.num_vregs() {
+            fail!("vreg {v} out of range ({} registers)", self.num_vregs());
+        }
+        Ok(())
+    }
+
+    fn check_inst(&self, inst: &Inst) -> Result<(), VerifyError> {
+        if let Some(d) = inst.def() {
+            self.check_vreg(d)?;
+        }
+        let mut err = None;
+        inst.visit_uses(|u| {
+            if err.is_none() {
+                if let Err(e) = self.check_vreg(u) {
+                    err = Some(e);
+                }
+            }
+        });
+        if let Some(e) = err {
+            return Err(e);
+        }
+        match inst {
+            Inst::Copy { dst, src } => {
+                if self.class_of(*dst) != self.class_of(*src) {
+                    fail!("copy {dst} <- {src} mixes classes");
+                }
+            }
+            Inst::Iconst { dst, .. } => {
+                if self.class_of(*dst) != RegClass::Int {
+                    fail!("iconst into non-int {dst}");
+                }
+            }
+            Inst::Fconst { dst, .. } => {
+                if self.class_of(*dst) != RegClass::Float {
+                    fail!("fconst into non-float {dst}");
+                }
+            }
+            Inst::Load { base, .. } | Inst::Store { base, .. } => {
+                if self.class_of(*base) != RegClass::Int {
+                    fail!("memory base {base} is not an integer register");
+                }
+            }
+            Inst::Load8 { dst, base, .. } => {
+                for v in [dst, base] {
+                    if self.class_of(*v) != RegClass::Int {
+                        fail!("byte load operand {v} is not an integer register");
+                    }
+                }
+            }
+            Inst::Bin { op, dst, lhs, rhs } => {
+                let want = if op.is_float() {
+                    RegClass::Float
+                } else {
+                    RegClass::Int
+                };
+                for v in [dst, lhs, rhs] {
+                    if self.class_of(*v) != want {
+                        fail!("{op} operand {v} has wrong class");
+                    }
+                }
+            }
+            Inst::BinImm { op, dst, lhs, .. } => {
+                if op.is_float() {
+                    fail!("bin_imm with float op {op}");
+                }
+                for v in [dst, lhs] {
+                    if self.class_of(*v) != RegClass::Int {
+                        fail!("{op} imm operand {v} has wrong class");
+                    }
+                }
+            }
+            Inst::Call { callee, .. } => {
+                if callee.index() >= self.callees.len() {
+                    fail!("call to out-of-range callee {callee:?}");
+                }
+            }
+            Inst::Branch { lhs, rhs, .. } => {
+                for v in [lhs, rhs] {
+                    if self.class_of(*v) != RegClass::Int {
+                        fail!("branch operand {v} is not integer");
+                    }
+                }
+            }
+            Inst::BranchImm { lhs, .. } => {
+                if self.class_of(*lhs) != RegClass::Int {
+                    fail!("branch operand {lhs} is not integer");
+                }
+            }
+            Inst::Ret { value } => match (value, self.sig.ret) {
+                (Some(v), Some(c)) => {
+                    if self.class_of(*v) != c {
+                        fail!("return value {v} has wrong class");
+                    }
+                }
+                (None, None) => {}
+                (Some(_), None) => fail!("return with value in void function"),
+                (None, Some(_)) => fail!("bare return in value-returning function"),
+            },
+            Inst::Jump { .. } | Inst::Reload { .. } | Inst::Spill { .. } => {}
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BinOp, Block, FunctionBuilder, Phi};
+
+    #[test]
+    fn empty_block_rejected() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        b.ret(None);
+        let mut f = b.finish();
+        f.blocks.push(Default::default());
+        assert!(f.verify().is_err());
+    }
+
+    #[test]
+    fn class_mismatch_rejected() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int, RegClass::Float], None);
+        let i = b.param(0);
+        let fl = b.param(1);
+        b.ret(None);
+        let mut f = b.finish();
+        // Hand-build a bad copy.
+        f.block_mut(Block::ENTRY)
+            .insts
+            .insert(0, Inst::Copy { dst: i, src: fl });
+        assert!(f.verify().is_err());
+    }
+
+    #[test]
+    fn float_bin_with_int_operand_rejected() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], None);
+        let p = b.param(0);
+        b.ret(None);
+        let mut f = b.finish();
+        let d = f.new_vreg(RegClass::Float);
+        f.block_mut(Block::ENTRY).insts.insert(
+            0,
+            Inst::Bin {
+                op: BinOp::FAdd,
+                dst: d,
+                lhs: p,
+                rhs: p,
+            },
+        );
+        assert!(f.verify().is_err());
+    }
+
+    #[test]
+    fn phi_must_cover_preds() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let l = b.create_block();
+        let r = b.create_block();
+        let j = b.create_block();
+        let z = b.iconst(0);
+        b.branch(crate::CmpOp::Eq, p, z, l, r);
+        b.switch_to(l);
+        b.jump(j);
+        b.switch_to(r);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(Some(p));
+        let mut f = b.finish();
+        // φ covering only one of two predecessors.
+        let d = f.new_vreg(RegClass::Int);
+        f.block_mut(j).phis.push(Phi {
+            dst: d,
+            args: vec![(l, p)],
+        });
+        assert!(f.verify().is_err());
+    }
+
+    #[test]
+    fn ret_mismatch_rejected() {
+        let mut b = FunctionBuilder::new("f", vec![], Some(RegClass::Int));
+        b.ret(None);
+        let f = b.finish();
+        assert!(f.verify().is_err());
+    }
+
+    #[test]
+    fn out_of_range_vreg_rejected() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        b.ret(None);
+        let mut f = b.finish();
+        f.block_mut(Block::ENTRY).insts.insert(
+            0,
+            Inst::Iconst {
+                dst: VReg::new(99),
+                value: 0,
+            },
+        );
+        assert!(f.verify().is_err());
+    }
+}

@@ -1,0 +1,98 @@
+//! The cycle cost model, consistent with the paper's Appendix.
+//!
+//! Loads cost 2, stores 1, ALU/copies/branches 1; a fused paired load
+//! costs one load (its second word is free — `Ideal_Inst_Cost = 0`);
+//! spill traffic prices like loads/stores; a caller-side save/restore pair
+//! costs `Save_Restore_Cost = 3` (1 + 2); each used non-volatile register
+//! costs a prologue store and epilogue load once per invocation.
+
+use pdgc_ir::Inst;
+use pdgc_target::MInst;
+
+/// Fixed overhead charged per call instruction (the callee body is
+/// abstract and identical across allocators, so any constant preserves
+/// relative comparisons).
+pub const CALL_CYCLES: u64 = 10;
+
+/// Cycles of one machine instruction.
+pub fn minst_cycles(inst: &MInst) -> u64 {
+    match inst {
+        MInst::Copy { .. } => 1,
+        MInst::Iconst { .. } | MInst::Fconst { .. } => 1,
+        MInst::Load { .. } | MInst::Load8 { .. } => 2,
+        MInst::LoadPair { .. } => 2, // the fusion payoff: 2, not 4
+        MInst::Store { .. } => 1,
+        MInst::Bin { .. } | MInst::BinImm { .. } => 1,
+        MInst::Call { .. } => CALL_CYCLES,
+        MInst::SpillLoad { .. } => 2,
+        MInst::SpillStore { .. } => 1,
+        MInst::Jump { .. } | MInst::Branch { .. } | MInst::BranchImm { .. } => 1,
+        MInst::Ret => 1,
+    }
+}
+
+/// Cycles of one IR instruction (reference executions; used for
+/// like-for-like step weighting, not for the figures).
+pub fn inst_cycles(inst: &Inst) -> u64 {
+    match inst {
+        Inst::Copy { .. } => 1,
+        Inst::Iconst { .. } | Inst::Fconst { .. } => 1,
+        Inst::Load { .. } | Inst::Load8 { .. } => 2,
+        Inst::Store { .. } => 1,
+        Inst::Bin { .. } | Inst::BinImm { .. } => 1,
+        Inst::Call { .. } => CALL_CYCLES,
+        Inst::Jump { .. } | Inst::Branch { .. } | Inst::BranchImm { .. } => 1,
+        Inst::Ret { .. } => 1,
+        Inst::Reload { .. } => 2,
+        Inst::Spill { .. } => 1,
+    }
+}
+
+/// Prologue + epilogue cycles for a function using `n` non-volatile
+/// registers: one store (1) and one load (2) each.
+pub fn prologue_epilogue_cycles(n: usize) -> u64 {
+    3 * n as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdgc_target::PhysReg;
+
+    #[test]
+    fn paired_load_halves_load_cost() {
+        let single = MInst::Load {
+            dst: PhysReg::int(1),
+            base: PhysReg::int(0),
+            offset: 0,
+        };
+        let pair = MInst::LoadPair {
+            dst1: PhysReg::int(1),
+            dst2: PhysReg::int(2),
+            base: PhysReg::int(0),
+            offset: 0,
+            offset2: 8,
+        };
+        assert_eq!(minst_cycles(&pair), minst_cycles(&single));
+        assert_eq!(2 * minst_cycles(&single), 4);
+    }
+
+    #[test]
+    fn save_restore_costs_three() {
+        let save = MInst::SpillStore {
+            src: PhysReg::int(1),
+            slot: 0,
+        };
+        let restore = MInst::SpillLoad {
+            dst: PhysReg::int(1),
+            slot: 0,
+        };
+        assert_eq!(minst_cycles(&save) + minst_cycles(&restore), 3);
+    }
+
+    #[test]
+    fn prologue_scales_with_saved_registers() {
+        assert_eq!(prologue_epilogue_cycles(0), 0);
+        assert_eq!(prologue_epilogue_cycles(4), 12);
+    }
+}

@@ -1,0 +1,321 @@
+//! The reference interpreter for virtual-register IR.
+
+use crate::ops::{callee_result, default_memory, eval_bin};
+use crate::trace::{CallRecord, ExecError, ExecOutcome};
+use pdgc_ir::{Block, Function, Inst};
+use std::collections::BTreeMap;
+
+/// Executes `func` on the given argument bit patterns.
+///
+/// Memory starts as deterministic address-dependent garbage
+/// (`ops::default_memory`); only written addresses appear in the outcome.
+/// φ-functions are executed with parallel-copy semantics (all sources read
+/// before any destination is written), so the interpreter accepts both
+/// SSA-form and lowered functions and gives them identical behaviour.
+///
+/// # Errors
+///
+/// [`ExecError::BadArity`] on an argument-count mismatch;
+/// [`ExecError::OutOfFuel`] when `fuel` instructions have run without a
+/// return; [`ExecError::UndefinedRead`] if a virtual register is read
+/// before any write.
+pub fn run_ir(func: &Function, args: &[u64], fuel: u64) -> Result<ExecOutcome, ExecError> {
+    if args.len() != func.param_vregs.len() {
+        return Err(ExecError::BadArity {
+            func: func.name.clone(),
+            expected: func.param_vregs.len(),
+            given: args.len(),
+        });
+    }
+
+    let mut regs: Vec<Option<u64>> = vec![None; func.num_vregs()];
+    for (&v, &a) in func.param_vregs.iter().zip(args) {
+        regs[v.index()] = Some(a);
+    }
+    let mut written: BTreeMap<i64, u64> = BTreeMap::new();
+    let mut frame: BTreeMap<u32, u64> = BTreeMap::new();
+    let mut calls: Vec<CallRecord> = Vec::new();
+    let mut steps = 0u64;
+    let mut cycles = 0u64;
+
+    let read = |regs: &Vec<Option<u64>>, v: pdgc_ir::VReg| -> Result<u64, ExecError> {
+        regs[v.index()].ok_or_else(|| ExecError::UndefinedRead {
+            func: func.name.clone(),
+            what: format!("{v}"),
+        })
+    };
+    let load = |written: &BTreeMap<i64, u64>, addr: i64| -> u64 {
+        written.get(&addr).copied().unwrap_or_else(|| default_memory(addr))
+    };
+
+    // φ execution: when control transfers prev → block, all φs at the
+    // head of `block` read their prev-edge arguments simultaneously.
+    let run_phis = |regs: &mut Vec<Option<u64>>, prev: Block, block: Block| -> Result<(), ExecError> {
+        let phis = &func.block(block).phis;
+        if phis.is_empty() {
+            return Ok(());
+        }
+        let mut staged = Vec::with_capacity(phis.len());
+        for phi in phis {
+            let src = phi.arg_for(prev).ok_or_else(|| ExecError::UndefinedRead {
+                func: func.name.clone(),
+                what: format!("phi {} has no arg for {prev}", phi.dst),
+            })?;
+            let v = regs[src.index()].ok_or_else(|| ExecError::UndefinedRead {
+                func: func.name.clone(),
+                what: format!("{src}"),
+            })?;
+            staged.push((phi.dst, v));
+        }
+        for (d, v) in staged {
+            regs[d.index()] = Some(v);
+        }
+        Ok(())
+    };
+
+    let mut block = Block::ENTRY;
+    let mut idx = 0usize;
+    loop {
+        if steps >= fuel {
+            return Err(ExecError::OutOfFuel {
+                func: func.name.clone(),
+            });
+        }
+        let inst = &func.block(block).insts[idx];
+        steps += 1;
+        cycles += crate::cycles::inst_cycles(inst);
+        idx += 1;
+        match inst {
+            Inst::Copy { dst, src } => {
+                let v = read(&regs, *src)?;
+                regs[dst.index()] = Some(v);
+            }
+            Inst::Iconst { dst, value } => regs[dst.index()] = Some(*value as u64),
+            Inst::Fconst { dst, value } => regs[dst.index()] = Some(value.to_bits()),
+            Inst::Load { dst, base, offset } => {
+                let addr = (read(&regs, *base)? as i64).wrapping_add(*offset as i64);
+                regs[dst.index()] = Some(load(&written, addr));
+            }
+            Inst::Load8 { dst, base, offset } => {
+                let addr = (read(&regs, *base)? as i64).wrapping_add(*offset as i64);
+                regs[dst.index()] = Some(load(&written, addr) & 0xff);
+            }
+            Inst::Store { src, base, offset } => {
+                let addr = (read(&regs, *base)? as i64).wrapping_add(*offset as i64);
+                let v = read(&regs, *src)?;
+                written.insert(addr, v);
+            }
+            Inst::Bin { op, dst, lhs, rhs } => {
+                let v = eval_bin(*op, read(&regs, *lhs)?, read(&regs, *rhs)?);
+                regs[dst.index()] = Some(v);
+            }
+            Inst::BinImm { op, dst, lhs, imm } => {
+                let v = eval_bin(*op, read(&regs, *lhs)?, *imm as u64);
+                regs[dst.index()] = Some(v);
+            }
+            Inst::Call { callee, args, ret } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for &a in args {
+                    vals.push(read(&regs, a)?);
+                }
+                let name = &func.callees[callee.index()];
+                let result = callee_result(name, &vals);
+                calls.push(CallRecord {
+                    callee: name.clone(),
+                    args: vals,
+                });
+                if let Some(r) = ret {
+                    regs[r.index()] = Some(result);
+                }
+            }
+            Inst::Jump { target } => {
+                run_phis(&mut regs, block, *target)?;
+                block = *target;
+                idx = 0;
+            }
+            Inst::Branch {
+                op,
+                lhs,
+                rhs,
+                then_dst,
+                else_dst,
+            } => {
+                let taken = op.eval(read(&regs, *lhs)? as i64, read(&regs, *rhs)? as i64);
+                let target = if taken { *then_dst } else { *else_dst };
+                run_phis(&mut regs, block, target)?;
+                block = target;
+                idx = 0;
+            }
+            Inst::BranchImm {
+                op,
+                lhs,
+                imm,
+                then_dst,
+                else_dst,
+            } => {
+                let taken = op.eval(read(&regs, *lhs)? as i64, *imm);
+                let target = if taken { *then_dst } else { *else_dst };
+                run_phis(&mut regs, block, target)?;
+                block = target;
+                idx = 0;
+            }
+            Inst::Ret { value } => {
+                let ret = match value {
+                    Some(v) => Some(read(&regs, *v)?),
+                    None => None,
+                };
+                return Ok(ExecOutcome {
+                    ret,
+                    calls,
+                    memory: written,
+                    steps,
+                    cycles,
+                });
+            }
+            Inst::Reload { dst, slot } => {
+                regs[dst.index()] = Some(frame.get(slot).copied().unwrap_or(0));
+            }
+            Inst::Spill { src, slot } => {
+                let v = read(&regs, *src)?;
+                frame.insert(*slot, v);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DEFAULT_FUEL;
+    use pdgc_ir::{BinOp, CmpOp, FunctionBuilder, RegClass};
+
+    #[test]
+    fn arithmetic_and_return() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let x = b.bin_imm(BinOp::Mul, p, 3);
+        let y = b.bin_imm(BinOp::Add, x, 4);
+        b.ret(Some(y));
+        let f = b.finish();
+        let out = run_ir(&f, &[5], DEFAULT_FUEL).unwrap();
+        assert_eq!(out.ret, Some(19));
+        assert_eq!(out.steps, 3);
+    }
+
+    #[test]
+    fn loop_terminates_and_counts() {
+        // sum 1..=n
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let n = b.param(0);
+        let header = b.create_block();
+        let body = b.create_block();
+        let exit = b.create_block();
+        let zero = b.iconst(0);
+        let i0 = b.copy(n);
+        let acc0 = b.copy(zero);
+        b.jump(header);
+        b.switch_to(header);
+        b.branch(CmpOp::Gt, i0, zero, body, exit);
+        b.switch_to(body);
+        b.emit(pdgc_ir::Inst::Bin {
+            op: BinOp::Add,
+            dst: acc0,
+            lhs: acc0,
+            rhs: i0,
+        });
+        b.emit(pdgc_ir::Inst::BinImm {
+            op: BinOp::Sub,
+            dst: i0,
+            lhs: i0,
+            imm: 1,
+        });
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(Some(acc0));
+        let f = b.finish();
+        assert!(f.verify().is_ok());
+        let out = run_ir(&f, &[10], DEFAULT_FUEL).unwrap();
+        assert_eq!(out.ret, Some(55));
+    }
+
+    #[test]
+    fn memory_roundtrip_and_default() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let x = b.load(p, 0); // default garbage
+        b.store(x, p, 8);
+        let y = b.load(p, 8);
+        b.ret(Some(y));
+        let f = b.finish();
+        let out = run_ir(&f, &[1000], DEFAULT_FUEL).unwrap();
+        assert_eq!(out.ret, Some(crate::ops::default_memory(1000)));
+        assert_eq!(out.memory.len(), 1);
+    }
+
+    #[test]
+    fn calls_recorded_in_order() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let a = b.call("g", vec![p], Some(RegClass::Int)).unwrap();
+        let c = b.call("h", vec![a, p], Some(RegClass::Int)).unwrap();
+        b.ret(Some(c));
+        let f = b.finish();
+        let out = run_ir(&f, &[9], DEFAULT_FUEL).unwrap();
+        assert_eq!(out.calls.len(), 2);
+        assert_eq!(out.calls[0].callee, "g");
+        assert_eq!(out.calls[0].args, vec![9]);
+        assert_eq!(out.calls[1].callee, "h");
+        let g = crate::ops::callee_result("g", &[9]);
+        assert_eq!(out.calls[1].args, vec![g, 9]);
+        assert_eq!(out.ret, Some(crate::ops::callee_result("h", &[g, 9])));
+    }
+
+    #[test]
+    fn out_of_fuel_on_infinite_loop() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        let l = b.create_block();
+        b.jump(l);
+        b.switch_to(l);
+        b.jump(l);
+        let f = b.finish();
+        assert!(matches!(
+            run_ir(&f, &[], 100),
+            Err(ExecError::OutOfFuel { .. })
+        ));
+    }
+
+    #[test]
+    fn undefined_read_detected() {
+        let mut b = FunctionBuilder::new("f", vec![], Some(RegClass::Int));
+        let v = b.new_vreg(RegClass::Int);
+        b.ret(Some(v));
+        let f = b.finish();
+        assert!(matches!(
+            run_ir(&f, &[], 100),
+            Err(ExecError::UndefinedRead { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_arity_detected() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], None);
+        b.ret(None);
+        let f = b.finish();
+        assert!(matches!(
+            run_ir(&f, &[], 100),
+            Err(ExecError::BadArity { .. })
+        ));
+    }
+
+    #[test]
+    fn float_pipeline() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Float], Some(RegClass::Float));
+        let q = b.param(0);
+        let h = b.fconst(0.5);
+        let r = b.bin(BinOp::FMul, q, h);
+        b.ret(Some(r));
+        let f = b.finish();
+        let out = run_ir(&f, &[3.0f64.to_bits()], DEFAULT_FUEL).unwrap();
+        assert_eq!(out.ret, Some(1.5f64.to_bits()));
+    }
+}

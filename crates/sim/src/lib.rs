@@ -1,0 +1,34 @@
+//! Execution substrate for the `pdgc` toolkit.
+//!
+//! The paper measured elapsed time of SPECjvm98 on Itanium hardware; this
+//! crate is the reproduction's stand-in:
+//!
+//! * [`run_ir`] — a reference interpreter for virtual-register IR;
+//! * [`run_mach`] — an interpreter for allocated machine code, with
+//!   faithful calling-convention behaviour (arguments in argument
+//!   registers, **calls clobber every volatile register**), so
+//!   caller-save/callee-save bugs surface as wrong answers;
+//! * [`check_equivalent`] — differential comparison of the two (return
+//!   value, call trace, final memory): allocation must be
+//!   semantics-preserving;
+//! * [`cycles`] — the Appendix-consistent cycle cost model
+//!   (load 2, store 1, ALU 1, paired load 2, save/restore 3, …) used to
+//!   produce the "elapsed time" of Figures 10 and 11 as
+//!   [`run_mach`]-measured dynamic cycles.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cycles;
+mod interp;
+mod minterp;
+mod ops;
+mod trace;
+
+pub use interp::run_ir;
+pub use minterp::run_mach;
+pub use trace::{check_equivalent, CallRecord, ExecError, ExecOutcome};
+
+/// Default execution fuel (interpreted instructions) before an
+/// [`ExecError::OutOfFuel`] is reported.
+pub const DEFAULT_FUEL: u64 = 2_000_000;

@@ -1,0 +1,130 @@
+//! Shared operator semantics for both interpreters.
+//!
+//! Values are 64-bit patterns: integer registers hold `i64` two's
+//! complement, float registers hold `f64` bits. Both interpreters use
+//! exactly these functions, so any observable divergence between IR and
+//! machine execution is an allocation bug, never a semantics mismatch.
+
+use pdgc_ir::BinOp;
+
+/// Evaluates a binary operator on two 64-bit patterns.
+///
+/// Integer operations wrap; shifts use the low 6 bits of the right
+/// operand; division by zero yields zero (documented IR semantics).
+pub fn eval_bin(op: BinOp, lhs: u64, rhs: u64) -> u64 {
+    if op.is_float() {
+        let (a, b) = (f64::from_bits(lhs), f64::from_bits(rhs));
+        let r = match op {
+            BinOp::FAdd => a + b,
+            BinOp::FSub => a - b,
+            BinOp::FMul => a * b,
+            BinOp::FDiv => a / b,
+            _ => unreachable!(),
+        };
+        r.to_bits()
+    } else {
+        let (a, b) = (lhs as i64, rhs as i64);
+        let r = match op {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::Mul => a.wrapping_mul(b),
+            BinOp::Div => {
+                if b == 0 {
+                    0
+                } else {
+                    a.wrapping_div(b)
+                }
+            }
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+            BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+            _ => unreachable!(),
+        };
+        r as u64
+    }
+}
+
+/// The deterministic value returned by the synthetic callee named
+/// `callee` for the given argument bit patterns. Both interpreters use
+/// this, so call results agree whenever the callee name and argument
+/// *values* agree — which is exactly what correct argument-register
+/// routing must guarantee. Hashing the *name* (not a table index) keeps
+/// semantics stable across callee-table orderings.
+pub fn callee_result(callee: &str, args: &[u64]) -> u64 {
+    let mut name_h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in callee.bytes() {
+        name_h ^= b as u64;
+        name_h = name_h.wrapping_mul(0x100_0000_01b3);
+    }
+    let mut h: u64 = 0x9e37_79b9_7f4a_7c15 ^ name_h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+    for &a in args {
+        h ^= a;
+        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^= h >> 33;
+    }
+    // Keep results small-ish integers so loop counters derived from call
+    // results terminate quickly when used in synthetic workloads.
+    h
+}
+
+/// The deterministic content of uninitialized memory at `addr`: defined,
+/// address-dependent garbage (better at catching bugs than zero).
+pub fn default_memory(addr: i64) -> u64 {
+    let mut h = (addr as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    h ^= h >> 29;
+    h.wrapping_mul(0xbf58_476d_1ce4_e5b9)
+}
+
+/// The junk pattern a call writes into clobbered volatile register
+/// `reg_index` at dynamic call number `call_seq`.
+pub fn clobber_pattern(call_seq: u64, reg_index: usize) -> u64 {
+    0xdead_beef_0000_0000u64 ^ (call_seq << 8) ^ reg_index as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_ops_wrap_and_guard() {
+        assert_eq!(eval_bin(BinOp::Add, 1, 2), 3);
+        assert_eq!(
+            eval_bin(BinOp::Add, i64::MAX as u64, 1) as i64,
+            i64::MIN
+        );
+        assert_eq!(eval_bin(BinOp::Div, 10, 0), 0);
+        assert_eq!(eval_bin(BinOp::Div, 10, 3), 3);
+        assert_eq!(eval_bin(BinOp::Shl, 1, 64), 1); // shift masked to 0
+        assert_eq!(eval_bin(BinOp::Shr, (-8i64) as u64, 1) as i64, -4);
+    }
+
+    #[test]
+    fn float_ops_via_bits() {
+        let two = 2.0f64.to_bits();
+        let three = 3.0f64.to_bits();
+        assert_eq!(f64::from_bits(eval_bin(BinOp::FMul, two, three)), 6.0);
+        assert_eq!(f64::from_bits(eval_bin(BinOp::FDiv, three, two)), 1.5);
+    }
+
+    #[test]
+    fn callee_results_deterministic_and_arg_sensitive() {
+        let a = callee_result("g", &[1, 2]);
+        assert_eq!(a, callee_result("g", &[1, 2]));
+        assert_ne!(a, callee_result("g", &[2, 1]));
+        assert_ne!(a, callee_result("h", &[1, 2]));
+    }
+
+    #[test]
+    fn memory_default_varies_by_address() {
+        assert_ne!(default_memory(0), default_memory(8));
+        assert_eq!(default_memory(64), default_memory(64));
+    }
+
+    #[test]
+    fn clobber_patterns_differ() {
+        assert_ne!(clobber_pattern(0, 1), clobber_pattern(0, 2));
+        assert_ne!(clobber_pattern(0, 1), clobber_pattern(1, 1));
+    }
+}

@@ -1,0 +1,479 @@
+//! The deterministic program generator.
+//!
+//! Programs are built so that
+//!
+//! * every loop has a compile-time trip count of at least one (no
+//!   undefined reads, guaranteed termination under the interpreter);
+//! * branch diamonds merge values with φ-functions, producing the copy-
+//!   rich code of SSA input once lowered;
+//! * register pressure tracks the profile's target via a live-value pool
+//!   that grows with loads and shrinks by folding;
+//! * loads target a read region and stores a separate write region, so
+//!   memory behaviour is deterministic;
+//! * everything ultimately flows into the return value or a store, so
+//!   live ranges have real uses.
+
+use crate::profile::{Workload, WorkloadProfile};
+use pdgc_ir::{BinOp, CmpOp, Function, FunctionBuilder, Inst, RegClass, VReg};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates the workload described by `profile`. Deterministic in the
+/// profile's seed.
+pub fn generate(profile: &WorkloadProfile) -> Workload {
+    let mut funcs = Vec::with_capacity(profile.num_funcs);
+    for i in 0..profile.num_funcs {
+        let mut rng = StdRng::seed_from_u64(profile.seed.wrapping_add(i as u64 * 0x9e37));
+        let name = format!("{}_{i}", profile.name);
+        let func = FuncGen::new(&name, profile, &mut rng).generate();
+        debug_assert!(func.verify().is_ok(), "generated {name} fails verify");
+        funcs.push(func);
+    }
+    Workload {
+        name: profile.name.clone(),
+        funcs,
+    }
+}
+
+/// Canonical simulator arguments for a generated function: the base
+/// pointer (0 — the read region) and a small scalar.
+pub fn default_args(func: &Function) -> Vec<u64> {
+    func.sig
+        .params
+        .iter()
+        .enumerate()
+        .map(|(i, class)| match class {
+            RegClass::Int => {
+                if i == 0 {
+                    0 // read-region base
+                } else {
+                    7 + i as u64
+                }
+            }
+            RegClass::Float => (1.5 + i as f64).to_bits(),
+        })
+        .collect()
+}
+
+struct FuncGen<'a> {
+    b: FunctionBuilder,
+    rng: &'a mut StdRng,
+    prof: &'a WorkloadProfile,
+    base: VReg,
+    ints: Vec<VReg>,
+    floats: Vec<VReg>,
+    load_off: i32,
+    store_off: i32,
+    ops_left: isize,
+}
+
+const READ_REGION: i32 = 0;
+const WRITE_REGION: i32 = 1 << 20;
+
+impl<'a> FuncGen<'a> {
+    fn new(name: &str, prof: &'a WorkloadProfile, rng: &'a mut StdRng) -> Self {
+        let b = FunctionBuilder::new(
+            name,
+            vec![RegClass::Int, RegClass::Int],
+            Some(RegClass::Int),
+        );
+        let base = b.param(0);
+        let scalar = b.param(1);
+        let mut g = FuncGen {
+            b,
+            rng,
+            prof,
+            base,
+            ints: vec![scalar],
+            floats: Vec::new(),
+            load_off: READ_REGION,
+            store_off: WRITE_REGION,
+            ops_left: prof.ops_per_func as isize,
+        };
+        // Seed the pools.
+        let c = g.b.iconst(g.rng.gen_range(1..100));
+        g.ints.push(c);
+        if g.prof.float_ratio > 0.0 {
+            let f = g.b.fconst(1.25);
+            g.floats.push(f);
+        }
+        g
+    }
+
+    fn generate(mut self) -> Function {
+        self.region(0);
+        // Fold everything into the return value / stores.
+        let mut acc = self.pick_int();
+        let ints = std::mem::take(&mut self.ints);
+        for v in ints {
+            acc = self.b.bin(BinOp::Xor, acc, v);
+        }
+        let floats = std::mem::take(&mut self.floats);
+        for (i, v) in floats.into_iter().enumerate() {
+            self.b.store(v, self.base, self.store_off + 8 * i as i32);
+        }
+        self.b.ret(Some(acc));
+        self.b.finish()
+    }
+
+    /// Emits a region of code at the given loop depth until the op budget
+    /// for this nesting level runs out.
+    fn region(&mut self, depth: u32) {
+        let mut local_budget = (self.prof.ops_per_func / (1 + depth as usize * 2)).max(4) as isize;
+        while self.ops_left > 0 && local_budget > 0 {
+            let r: f64 = self.rng.gen();
+            if depth < self.prof.loop_depth && r < 0.08 {
+                self.emit_loop(depth);
+                local_budget -= 8;
+            } else if r < 0.08 + self.prof.diamond_density * 0.25 {
+                self.emit_diamond();
+                local_budget -= 6;
+            } else {
+                self.emit_op();
+                local_budget -= 1;
+            }
+        }
+    }
+
+    /// A counted loop with a guaranteed trip count ≥ 1 and a loop-carried
+    /// accumulator (a multi-definition web, like the paper's `v0`).
+    fn emit_loop(&mut self, depth: u32) {
+        let trip = self.rng.gen_range(2..5);
+        let header = self.b.create_block();
+        let body = self.b.create_block();
+        let exit = self.b.create_block();
+        let counter = self.b.iconst(trip);
+        let zero = self.b.iconst(0);
+        let seed = self.pick_int();
+        let acc = self.b.copy(seed);
+        self.ints.push(acc);
+        self.b.jump(header);
+
+        self.b.switch_to(header);
+        self.b.branch(CmpOp::Gt, counter, zero, body, exit);
+
+        self.b.switch_to(body);
+        let inner = (self.prof.ops_per_func / 6).max(3);
+        for _ in 0..inner {
+            if self.ops_left <= 0 {
+                break;
+            }
+            self.emit_op();
+        }
+        if depth + 1 < self.prof.loop_depth && self.rng.gen_bool(0.4) {
+            self.emit_loop(depth + 1);
+        }
+        // Update the accumulator and the counter (multi-def webs).
+        let x = self.pick_int();
+        self.b.emit(Inst::Bin {
+            op: BinOp::Add,
+            dst: acc,
+            lhs: acc,
+            rhs: x,
+        });
+        self.b.emit(Inst::BinImm {
+            op: BinOp::Sub,
+            dst: counter,
+            lhs: counter,
+            imm: 1,
+        });
+        self.b.jump(header);
+
+        self.b.switch_to(exit);
+    }
+
+    /// A forward branch diamond whose arms produce values merged by φs.
+    fn emit_diamond(&mut self) {
+        let then_b = self.b.create_block();
+        let else_b = self.b.create_block();
+        let join = self.b.create_block();
+        let x = self.pick_int();
+        let y = self.pick_int();
+        let cmp = [CmpOp::Lt, CmpOp::Eq, CmpOp::Ge][self.rng.gen_range(0..3)];
+        self.b.branch(cmp, x, y, then_b, else_b);
+
+        // Arms: values created inside an arm stay local to it; only φ
+        // results join the pool.
+        let snapshot_i = self.ints.clone();
+        let snapshot_f = self.floats.clone();
+
+        self.b.switch_to(then_b);
+        for _ in 0..self.rng.gen_range(1..4) {
+            self.emit_op();
+        }
+        let tv = self.pick_int();
+        self.b.jump(join);
+        let then_end = self.b.current_block();
+
+        self.ints = snapshot_i.clone();
+        self.floats = snapshot_f.clone();
+        self.b.switch_to(else_b);
+        for _ in 0..self.rng.gen_range(1..4) {
+            self.emit_op();
+        }
+        let ev = self.pick_int();
+        self.b.jump(join);
+        let else_end = self.b.current_block();
+
+        self.ints = snapshot_i;
+        self.floats = snapshot_f;
+        self.b.switch_to(join);
+        let merged = self
+            .b
+            .phi(RegClass::Int, vec![(then_end, tv), (else_end, ev)]);
+        self.ints.push(merged);
+        self.trim_pools();
+    }
+
+    /// One straight-line operation.
+    fn emit_op(&mut self) {
+        self.ops_left -= 1;
+        let r: f64 = self.rng.gen();
+        if r < self.prof.call_density {
+            self.emit_call();
+        } else if r < self.prof.call_density + 0.28 {
+            self.emit_load();
+        } else if r < self.prof.call_density + 0.36 {
+            self.emit_store();
+        } else if r < self.prof.call_density + 0.44 {
+            // An explicit copy (SSA φ-web material).
+            let v = self.pick_int();
+            let c = self.b.copy(v);
+            self.ints.push(c);
+        } else {
+            self.emit_arith();
+        }
+        self.trim_pools();
+    }
+
+    fn emit_load(&mut self) {
+        let float = self.rng.gen_bool(self.prof.float_ratio);
+        let paired = self.rng.gen_bool(self.prof.paired_density);
+        let off = self.next_load_off();
+        if !float && !paired && self.rng.gen_bool(self.prof.byte_density) {
+            let a = self.b.load8(self.base, off);
+            self.ints.push(a);
+            return;
+        }
+        if paired {
+            let off2 = off + 8;
+            self.load_off += 8;
+            if float {
+                let a = self.b.fload(self.base, off);
+                let c = self.b.fload(self.base, off2);
+                self.floats.push(a);
+                self.floats.push(c);
+            } else {
+                let a = self.b.load(self.base, off);
+                let c = self.b.load(self.base, off2);
+                self.ints.push(a);
+                self.ints.push(c);
+            }
+        } else if float {
+            let a = self.b.fload(self.base, off);
+            self.floats.push(a);
+        } else {
+            let a = self.b.load(self.base, off);
+            self.ints.push(a);
+        }
+    }
+
+    fn emit_store(&mut self) {
+        let off = self.next_store_off();
+        if !self.floats.is_empty() && self.rng.gen_bool(self.prof.float_ratio) {
+            let v = self.pick_float();
+            self.b.store(v, self.base, off);
+        } else {
+            let v = self.pick_int();
+            self.b.store(v, self.base, off);
+        }
+    }
+
+    fn emit_arith(&mut self) {
+        if !self.floats.is_empty() && self.rng.gen_bool(self.prof.float_ratio) {
+            let a = self.pick_float();
+            let c = self.pick_float();
+            let op = [BinOp::FAdd, BinOp::FSub, BinOp::FMul][self.rng.gen_range(0..3)];
+            let v = self.b.bin(op, a, c);
+            self.floats.push(v);
+        } else {
+            let a = self.pick_int();
+            let op = [BinOp::Add, BinOp::Sub, BinOp::Xor, BinOp::And, BinOp::Or, BinOp::Mul]
+                [self.rng.gen_range(0..6)];
+            if self.rng.gen_bool(0.4) {
+                let imm = self.rng.gen_range(1..64);
+                let v = self.b.bin_imm(op, a, imm);
+                self.ints.push(v);
+            } else {
+                let c = self.pick_int();
+                let v = self.b.bin(op, a, c);
+                self.ints.push(v);
+            }
+        }
+    }
+
+    fn emit_call(&mut self) {
+        let callee = format!("g{}", self.rng.gen_range(0..4));
+        let nargs = self.rng.gen_range(0..4usize);
+        let mut args = Vec::with_capacity(nargs);
+        for _ in 0..nargs {
+            if !self.floats.is_empty() && self.rng.gen_bool(self.prof.float_ratio) {
+                args.push(self.pick_float());
+            } else {
+                args.push(self.pick_int());
+            }
+        }
+        let ret_class = if self.rng.gen_bool(0.7) {
+            Some(if self.rng.gen_bool(self.prof.float_ratio) && !self.floats.is_empty() {
+                RegClass::Float
+            } else {
+                RegClass::Int
+            })
+        } else {
+            None
+        };
+        if let Some(v) = self.b.call(&callee, args, ret_class) {
+            match ret_class.unwrap() {
+                RegClass::Int => self.ints.push(v),
+                RegClass::Float => self.floats.push(v),
+            }
+        }
+    }
+
+    fn pick_int(&mut self) -> VReg {
+        let i = self.rng.gen_range(0..self.ints.len());
+        self.ints[i]
+    }
+
+    fn pick_float(&mut self) -> VReg {
+        let i = self.rng.gen_range(0..self.floats.len());
+        self.floats[i]
+    }
+
+    /// Keeps pool sizes near the pressure target by folding values.
+    fn trim_pools(&mut self) {
+        while self.ints.len() > self.prof.pressure.max(2) {
+            let a = self.ints.swap_remove(self.rng.gen_range(0..self.ints.len()));
+            let b2 = self.ints.swap_remove(self.rng.gen_range(0..self.ints.len()));
+            let v = self.b.bin(BinOp::Xor, a, b2);
+            self.ints.push(v);
+        }
+        while self.floats.len() > self.prof.pressure.max(2) {
+            let a = self
+                .floats
+                .swap_remove(self.rng.gen_range(0..self.floats.len()));
+            let b2 = self
+                .floats
+                .swap_remove(self.rng.gen_range(0..self.floats.len()));
+            let v = self.b.bin(BinOp::FAdd, a, b2);
+            self.floats.push(v);
+        }
+    }
+
+    fn next_load_off(&mut self) -> i32 {
+        let off = self.load_off;
+        self.load_off += 8;
+        if self.load_off > READ_REGION + (1 << 16) {
+            self.load_off = READ_REGION;
+        }
+        off
+    }
+
+    fn next_store_off(&mut self) -> i32 {
+        let off = self.store_off;
+        self.store_off += 8;
+        off
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::specjvm_suite;
+
+    #[test]
+    fn all_workloads_verify() {
+        for prof in specjvm_suite() {
+            let w = generate(&prof);
+            assert_eq!(w.funcs.len(), prof.num_funcs);
+            for f in &w.funcs {
+                f.verify()
+                    .unwrap_or_else(|e| panic!("{} fails verify: {e}", f.name));
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let prof = &specjvm_suite()[0];
+        let a = generate(prof);
+        let b = generate(prof);
+        for (fa, fb) in a.funcs.iter().zip(&b.funcs) {
+            assert_eq!(fa, fb);
+        }
+    }
+
+    #[test]
+    fn call_density_orders_workloads() {
+        let suite = specjvm_suite();
+        let count = |name: &str| {
+            let prof = suite.iter().find(|p| p.name == name).unwrap();
+            let w = generate(prof);
+            let calls: usize = w.funcs.iter().map(|f| f.num_calls()).sum();
+            let insts: usize = w.funcs.iter().map(|f| f.num_insts()).sum();
+            calls as f64 / insts as f64
+        };
+        assert!(count("jack") > count("compress"));
+        assert!(count("jess") > count("compress"));
+    }
+
+    #[test]
+    fn float_heavy_workloads_have_float_registers() {
+        let suite = specjvm_suite();
+        let prof = suite.iter().find(|p| p.name == "mpegaudio").unwrap();
+        let w = generate(prof);
+        let floats: usize = w
+            .funcs
+            .iter()
+            .map(|f| {
+                f.vreg_classes
+                    .iter()
+                    .filter(|c| **c == RegClass::Float)
+                    .count()
+            })
+            .sum();
+        assert!(floats > 50, "mpegaudio should be float-heavy, got {floats}");
+    }
+
+    #[test]
+    fn byte_density_emits_byte_loads() {
+        let mut prof = specjvm_suite()[0].clone();
+        prof.byte_density = 0.6;
+        prof.float_ratio = 0.0;
+        prof.paired_density = 0.0;
+        let w = generate(&prof);
+        let bytes: usize = w
+            .funcs
+            .iter()
+            .map(|f| f.count_insts(|i| matches!(i, pdgc_ir::Inst::Load8 { .. })))
+            .sum();
+        assert!(bytes > 20, "expected byte loads, got {bytes}");
+        // The paper-suite profiles themselves stay byte-free.
+        let w0 = generate(&specjvm_suite()[0]);
+        let none: usize = w0
+            .funcs
+            .iter()
+            .map(|f| f.count_insts(|i| matches!(i, pdgc_ir::Inst::Load8 { .. })))
+            .sum();
+        assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn default_args_match_signature() {
+        let prof = &specjvm_suite()[0];
+        let w = generate(prof);
+        for f in &w.funcs {
+            assert_eq!(default_args(f).len(), f.sig.params.len());
+        }
+    }
+}

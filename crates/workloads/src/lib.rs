@@ -1,0 +1,20 @@
+//! Seeded synthetic workloads for register-allocation experiments.
+//!
+//! The paper evaluates on SPECjvm98 inside IBM's IA-64 Java JIT. Neither is
+//! available here, so this crate generates deterministic synthetic
+//! programs whose *allocation-relevant* character matches each benchmark's
+//! profile: register pressure, loop nesting, call density, float ratio,
+//! copy richness (φ-heavy SSA input), and paired-load opportunities. Each
+//! [`WorkloadProfile`] is tuned to mimic one SPECjvm98 test (see
+//! [`specjvm_suite`]); the generated [`Workload`] is a set of verified,
+//! terminating [`pdgc_ir::Function`]s plus canonical arguments for the
+//! simulator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gen;
+mod profile;
+
+pub use gen::{default_args, generate};
+pub use profile::{specjvm_suite, Workload, WorkloadProfile};

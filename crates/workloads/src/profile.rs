@@ -1,0 +1,103 @@
+//! Workload profiles: the SPECjvm98 analogs.
+
+use pdgc_ir::Function;
+
+/// Tuning knobs for the synthetic program generator.
+#[derive(Clone, Debug)]
+pub struct WorkloadProfile {
+    /// Workload name (reported in tables).
+    pub name: String,
+    /// RNG seed (all generation is deterministic).
+    pub seed: u64,
+    /// Number of functions to generate.
+    pub num_funcs: usize,
+    /// Approximate operation count per function.
+    pub ops_per_func: usize,
+    /// Maximum loop-nesting depth.
+    pub loop_depth: u32,
+    /// Probability that a region op is a call.
+    pub call_density: f64,
+    /// Probability that a new value is floating-point.
+    pub float_ratio: f64,
+    /// Probability that a load comes as a paired-load candidate.
+    pub paired_density: f64,
+    /// Probability that an integer load is a byte load (exercises the
+    /// limited-register-usage preference on x86-like targets).
+    pub byte_density: f64,
+    /// Target number of simultaneously live values per class.
+    pub pressure: usize,
+    /// Probability of emitting a branch diamond (φ merges).
+    pub diamond_density: f64,
+}
+
+/// A generated workload: functions plus a display name.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Name (matches the profile).
+    pub name: String,
+    /// The generated functions.
+    pub funcs: Vec<Function>,
+}
+
+/// The SPECjvm98 analog suite (§6 of the paper; `check` is omitted there
+/// too). `mpegaudio` and `mtrt` carry the float-heavy profiles whose
+/// float-class statistics the paper reports separately as "mpegaudio fp"
+/// and "mtrt fp".
+pub fn specjvm_suite() -> Vec<WorkloadProfile> {
+    let mk = |name: &str,
+              seed: u64,
+              num_funcs: usize,
+              ops: usize,
+              depth: u32,
+              call: f64,
+              float: f64,
+              paired: f64,
+              pressure: usize,
+              diamond: f64| WorkloadProfile {
+        name: name.to_string(),
+        seed,
+        num_funcs,
+        ops_per_func: ops,
+        loop_depth: depth,
+        call_density: call,
+        float_ratio: float,
+        paired_density: paired,
+        byte_density: 0.0,
+        pressure,
+        diamond_density: diamond,
+    };
+    vec![
+        // compress: tight integer loop nests, few calls, steady pressure.
+        mk("compress", 0x000C_0117_7E55, 8, 120, 3, 0.04, 0.02, 0.25, 14, 0.10),
+        // jess: rule engine — call-heavy, branchy, moderate pressure.
+        mk("jess", 0x1E55, 10, 90, 1, 0.38, 0.02, 0.05, 9, 0.30),
+        // db: queries — calls plus comparisons/branches.
+        mk("db", 0xDB, 9, 100, 1, 0.30, 0.0, 0.05, 9, 0.35),
+        // javac: large irregular functions, mixed calls and loops.
+        mk("javac", 0x7A4AC, 12, 160, 2, 0.25, 0.02, 0.08, 12, 0.30),
+        // mpegaudio: float-dominated DSP loops with many paired loads.
+        mk("mpegaudio", 0x3E6, 8, 140, 2, 0.08, 0.60, 0.50, 12, 0.10),
+        // mtrt: ray tracer — float math plus object-graph calls.
+        mk("mtrt", 0x317, 9, 110, 1, 0.22, 0.45, 0.25, 10, 0.25),
+        // jack: parser generator — the most call-dense, small pressure.
+        mk("jack", 0x7ACC, 10, 80, 1, 0.45, 0.0, 0.03, 7, 0.30),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_seven_named_analogs() {
+        let suite = specjvm_suite();
+        let names: Vec<&str> = suite.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["compress", "jess", "db", "javac", "mpegaudio", "mtrt", "jack"]
+        );
+        // Float-class stats come from the float-heavy profiles.
+        assert!(suite[4].float_ratio > 0.4);
+        assert!(suite[5].float_ratio > 0.4);
+    }
+}

@@ -1,0 +1,95 @@
+//! Volatile vs non-volatile selection around calls: reproduces the §4
+//! discussion comparing the integrated preference-directed approach with
+//! a Lueh–Gross-style call-cost-directed allocator whose decisions are
+//! static.
+//!
+//! The kernel interleaves two kinds of values: some live across many
+//! calls (want non-volatile registers) and some are call-argument-bound
+//! (want coalescing into the dedicated argument registers). Static
+//! preference decisions interact badly with aggressive coalescing here
+//! (Figure 5(b) of the paper); the integrated select phase handles both.
+//!
+//! Run with `cargo run --example callcost_compare`.
+
+use pdgc::prelude::*;
+
+fn call_heavy() -> Function {
+    let mut b = FunctionBuilder::new("drive", vec![RegClass::Int, RegClass::Int], Some(RegClass::Int));
+    let base = b.param(0);
+    let n = b.param(1);
+    let header = b.create_block();
+    let body = b.create_block();
+    let exit = b.create_block();
+
+    // Long-lived state: wants a non-volatile register.
+    let state = b.load(base, 0);
+    let i = b.copy(n);
+    b.jump(header);
+
+    b.switch_to(header);
+    b.branch_imm(CmpOp::Gt, i, 0, body, exit);
+
+    b.switch_to(body);
+    // Argument-bound temporaries: want to be born in argument registers.
+    let t1 = b.bin_imm(BinOp::Add, state, 1);
+    let r1 = b.call("step", vec![t1], Some(RegClass::Int)).unwrap();
+    let t2 = b.bin(BinOp::Xor, r1, state);
+    let r2 = b.call("fold", vec![t2, r1], Some(RegClass::Int)).unwrap();
+    b.emit(pdgc::ir::Inst::Bin {
+        op: BinOp::Add,
+        dst: state,
+        lhs: state,
+        rhs: r2,
+    });
+    b.emit(pdgc::ir::Inst::BinImm {
+        op: BinOp::Sub,
+        dst: i,
+        lhs: i,
+        imm: 1,
+    });
+    b.jump(header);
+
+    b.switch_to(exit);
+    b.ret(Some(state));
+    b.finish()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    use pdgc::core::baselines::CallCostAllocator;
+
+    let func = call_heavy();
+    let target = TargetDesc::ia64_like(PressureModel::Middle);
+    let args = vec![512u64, 6];
+    let reference = run_ir(&func, &args, DEFAULT_FUEL)?;
+
+    println!("--- kernel ---\n{func}\n");
+    println!(
+        "{:<24}{:>10}{:>10}{:>10}{:>12}",
+        "allocator", "saves", "nonvols", "copies", "cycles"
+    );
+    let allocators: Vec<Box<dyn RegisterAllocator>> = vec![
+        Box::new(CallCostAllocator),
+        Box::new(PreferenceAllocator::full()),
+    ];
+    for alloc in allocators {
+        let out = alloc.allocate(&func, &target)?;
+        let exec = run_mach(&out.mach, &target, &args, DEFAULT_FUEL)?;
+        check_equivalent(&reference, &exec).map_err(|e| format!("diverged: {e}"))?;
+        println!(
+            "{:<24}{:>10}{:>10}{:>10}{:>12}",
+            alloc.name(),
+            out.stats.caller_save_insts,
+            out.stats.nonvolatiles_used,
+            out.stats.copies_remaining,
+            exec.cycles
+        );
+    }
+    println!(
+        "\nOn a kernel this small both approaches find the good placement: \
+         loop state in a non-volatile register, argument temporaries \
+         coalesced. At workload scale their static-vs-integrated difference \
+         shows up — run `cargo run -p pdgc-bench --bin fig11` to reproduce \
+         the paper's Figure 11 comparison."
+    );
+    Ok(())
+}

@@ -1,0 +1,289 @@
+//! Property-based tests (proptest) for the toolkit's core invariants.
+//!
+//! The headline property is the paper's §5.2 theorem: **any** topological
+//! order of the Coloring Precedence Graph preserves the colorability
+//! established by simplification — selection in any CPG order finds a
+//! color for every node when simplification needed no optimistic spills.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use pdgc::core::cpg::Cpg;
+use pdgc::core::ifg::InterferenceGraph;
+use pdgc::core::node::NodeId;
+use pdgc::core::simplify::{simplify, SimplifyMode};
+use pdgc::prelude::*;
+use pdgc::workloads::WorkloadProfile;
+
+/// A random interference graph over `n` live-range nodes (no precolored)
+/// with the given edge probability.
+fn random_ifg(n: usize, edge_prob: f64, seed: u64) -> InterferenceGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = InterferenceGraph::new(n, 0);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if rng.gen_bool(edge_prob) {
+                g.add_edge(NodeId::new(a), NodeId::new(b));
+            }
+        }
+    }
+    g
+}
+
+/// Colors the CPG in a random topological order with a first-fit rule;
+/// returns false if any node finds no free color.
+fn color_in_random_topo_order(
+    ifg: &InterferenceGraph,
+    cpg: &Cpg,
+    k: usize,
+    seed: u64,
+) -> bool {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = ifg.num_nodes();
+    let mut pred_remaining: Vec<usize> = (0..n)
+        .map(|i| cpg.preds(NodeId::new(i)).len())
+        .collect();
+    let mut queue: Vec<NodeId> = cpg.initial_queue();
+    let mut color: Vec<Option<usize>> = vec![None; n];
+    let mut done = 0;
+    let total = cpg.nodes().count();
+    while !queue.is_empty() {
+        let pick = rng.gen_range(0..queue.len());
+        let node = queue.swap_remove(pick);
+        let mut used = vec![false; k];
+        for x in ifg.neighbors(node) {
+            if let Some(c) = color[x.index()] {
+                used[c] = true;
+            }
+        }
+        match (0..k).find(|&c| !used[c]) {
+            Some(c) => color[node.index()] = Some(c),
+            None => return false,
+        }
+        done += 1;
+        for &s in cpg.succs(node) {
+            pred_remaining[s.index()] -= 1;
+            if pred_remaining[s.index()] == 0 {
+                queue.push(s);
+            }
+        }
+    }
+    done == total
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// §5.2's guarantee: when simplification succeeds without optimistic
+    /// removals, *every* topological order of the CPG colors successfully.
+    #[test]
+    fn any_cpg_topological_order_preserves_colorability(
+        n in 2usize..40,
+        edge_prob in 0.05f64..0.6,
+        k in 2usize..8,
+        graph_seed in any::<u64>(),
+        order_seed in any::<u64>(),
+    ) {
+        let mut g = random_ifg(n, edge_prob, graph_seed);
+        let costs = vec![1u64; n];
+        let sr = simplify(&mut g, k, &costs, SimplifyMode::Optimistic);
+        g.restore_all();
+        let cpg = Cpg::build(&g, &sr.stack, &sr.optimistic, k);
+        prop_assert!(cpg.is_acyclic());
+        // Every stack node participates in the CPG.
+        for &s in &sr.stack {
+            prop_assert!(cpg.contains(s));
+        }
+        if sr.optimistic.is_empty() {
+            // Three independent random orders must all succeed.
+            for i in 0..3 {
+                prop_assert!(
+                    color_in_random_topo_order(&g, &cpg, k, order_seed.wrapping_add(i)),
+                    "a topological order failed to color (n={n}, k={k})"
+                );
+            }
+        }
+    }
+
+    /// The interference graph is symmetric and irreflexive under arbitrary
+    /// edge insertions and merges.
+    #[test]
+    fn ifg_symmetric_irreflexive_after_merges(
+        n in 2usize..30,
+        edges in proptest::collection::vec((0usize..30, 0usize..30), 0..80),
+        merges in proptest::collection::vec((0usize..30, 0usize..30), 0..8),
+    ) {
+        let mut g = InterferenceGraph::new(n, 0);
+        for (a, b) in edges {
+            let (a, b) = (a % n, b % n);
+            if a != b {
+                g.add_edge(NodeId::new(a), NodeId::new(b));
+            }
+        }
+        for (a, b) in merges {
+            let (a, b) = (NodeId::new(a % n), NodeId::new(b % n));
+            if g.rep(a) != g.rep(b) && !g.interferes(a, b) {
+                g.merge(a, b);
+            }
+        }
+        for i in 0..n {
+            let a = NodeId::new(i);
+            // interferes(a, a) resolves through reps and must be false.
+            prop_assert!(!g.interferes(a, a));
+            for j in 0..n {
+                let b = NodeId::new(j);
+                prop_assert_eq!(g.interferes(a, b), g.interferes(b, a));
+            }
+            if !g.is_merged(a) && !g.is_removed(a) {
+                // Degree equals the number of distinct live neighbors.
+                prop_assert_eq!(g.degree(a), g.live_neighbors(a).len());
+            }
+        }
+    }
+
+    /// Allocation is semantics-preserving on randomly generated programs
+    /// for every allocator (beyond the fixed-seed differential suite).
+    #[test]
+    fn random_programs_allocate_equivalently(
+        seed in any::<u64>(),
+        ops in 10usize..60,
+        call_density in 0.0f64..0.5,
+        pressure in 4usize..14,
+        loop_depth in 0u32..3,
+    ) {
+        let prof = WorkloadProfile {
+            name: "prop".into(),
+            seed,
+            num_funcs: 1,
+            ops_per_func: ops,
+            loop_depth,
+            call_density,
+            float_ratio: 0.3,
+            paired_density: 0.3,
+            byte_density: 0.15,
+            pressure,
+            diamond_density: 0.3,
+        };
+        let w = generate(&prof);
+        let func = &w.funcs[0];
+        prop_assume!(func.verify().is_ok());
+        let args = default_args(func);
+        let reference = run_ir(func, &args, DEFAULT_FUEL).unwrap();
+        let target = TargetDesc::ia64_like(PressureModel::High);
+        for alloc in pdgc::all_allocators() {
+            let out = alloc.allocate(func, &target).unwrap();
+            let mach = run_mach(&out.mach, &target, &args, DEFAULT_FUEL).unwrap();
+            prop_assert!(
+                check_equivalent(&reference, &mach).is_ok(),
+                "{} diverged on seed {seed}",
+                alloc.name()
+            );
+        }
+    }
+
+    /// The textual printer and parser round-trip structurally on any
+    /// generated program (φs, floats, byte loads, calls, loops included).
+    #[test]
+    fn printer_parser_roundtrip(seed in any::<u64>(), ops in 10usize..70) {
+        let prof = WorkloadProfile {
+            name: "rt".into(),
+            seed,
+            num_funcs: 1,
+            ops_per_func: ops,
+            loop_depth: 2,
+            call_density: 0.25,
+            float_ratio: 0.35,
+            paired_density: 0.2,
+            byte_density: 0.2,
+            pressure: 9,
+            diamond_density: 0.35,
+        };
+        let w = generate(&prof);
+        let func = &w.funcs[0];
+        let text = func.to_string();
+        let reparsed = pdgc::ir::parse_function(&text)
+            .map_err(|e| TestCaseError::fail(format!("{e}\n{text}")))?;
+        // Textual round-trip: printing the reparse reproduces the text
+        // exactly. (Structural equality can differ in callee-table
+        // interning order, which is not observable.)
+        prop_assert_eq!(reparsed.to_string(), text);
+        // And the reparse behaves identically.
+        let args = default_args(func);
+        let a = run_ir(func, &args, DEFAULT_FUEL).unwrap();
+        let b = run_ir(&reparsed, &args, DEFAULT_FUEL).unwrap();
+        prop_assert!(check_equivalent(&a, &b).is_ok());
+    }
+
+    /// φ-lowering preserves semantics.
+    #[test]
+    fn phi_lowering_preserves_semantics(seed in any::<u64>(), ops in 10usize..50) {
+        let prof = WorkloadProfile {
+            name: "phi".into(),
+            seed,
+            num_funcs: 1,
+            ops_per_func: ops,
+            loop_depth: 1,
+            call_density: 0.1,
+            float_ratio: 0.2,
+            paired_density: 0.1,
+            byte_density: 0.0,
+            pressure: 8,
+            diamond_density: 0.6, // many φs
+        };
+        let w = generate(&prof);
+        let func = &w.funcs[0];
+        let args = default_args(func);
+        let before = run_ir(func, &args, DEFAULT_FUEL).unwrap();
+        let mut lowered = func.clone();
+        pdgc::ir::lower_phis(&mut lowered);
+        prop_assert!(lowered.verify().is_ok());
+        let after = run_ir(&lowered, &args, DEFAULT_FUEL).unwrap();
+        prop_assert!(check_equivalent(&before, &after).is_ok());
+    }
+
+    /// Spill-code insertion preserves semantics for arbitrary spill
+    /// choices (any subset of defined, unpinned registers).
+    #[test]
+    fn spill_insertion_preserves_semantics(
+        seed in any::<u64>(),
+        spill_mask in any::<u64>(),
+    ) {
+        let prof = WorkloadProfile {
+            name: "spill".into(),
+            seed,
+            num_funcs: 1,
+            ops_per_func: 30,
+            loop_depth: 1,
+            call_density: 0.15,
+            float_ratio: 0.2,
+            paired_density: 0.2,
+            byte_density: 0.1,
+            pressure: 8,
+            diamond_density: 0.2,
+        };
+        let w = generate(&prof);
+        let mut func = w.funcs[0].clone();
+        pdgc::ir::lower_phis(&mut func);
+        let args = default_args(&func);
+        let before = run_ir(&func, &args, DEFAULT_FUEL).unwrap();
+        // Spill every defined vreg whose bit is set in the mask.
+        let mut has_def = vec![false; func.num_vregs()];
+        for b in func.block_ids() {
+            for inst in &func.block(b).insts {
+                if let Some(d) = inst.def() {
+                    has_def[d.index()] = true;
+                }
+            }
+        }
+        let spilled: Vec<VReg> = (0..func.num_vregs())
+            .filter(|&i| has_def[i] && (spill_mask >> (i % 64)) & 1 == 1)
+            .map(VReg::new)
+            .collect();
+        let mut slot = 0;
+        pdgc::core::spill::insert_spill_code(&mut func, &spilled, &mut slot);
+        prop_assert!(func.verify().is_ok());
+        let after = run_ir(&func, &args, DEFAULT_FUEL).unwrap();
+        prop_assert!(check_equivalent(&before, &after).is_ok());
+    }
+}
