@@ -258,7 +258,7 @@ impl Selector<'_> {
             self.spill(n);
             return;
         }
-        let mut honorable = self.honorable_prefs(n, &avail);
+        let honorable = self.honorable_prefs(n, &avail);
         // §5.4 active spilling: the strongest preference is for memory.
         if self.config.active_spill && !self.no_spill[n.index()] {
             let strongest = honorable
@@ -277,38 +277,63 @@ impl Selector<'_> {
             }
         }
 
-        // Step 4.2: screen strongest-to-weakest; a preference only narrows
-        // the candidate set when it can still be honored within it.
-        honorable.sort_by_key(|h| {
-            std::cmp::Reverse(
-                h.regs
-                    .iter()
-                    .map(|&r| h.pref.strength_with(r, self.target))
-                    .max()
-                    .unwrap_or(i64::MIN),
-            )
-        });
-        let mut cand = avail;
-        for h in &honorable {
-            let narrowed: Vec<PhysReg> =
-                cand.iter().copied().filter(|r| h.regs.contains(r)).collect();
-            if !narrowed.is_empty() {
-                let gain = narrowed
-                    .iter()
-                    .map(|&r| h.pref.strength_with(r, self.target))
-                    .max()
-                    .unwrap_or(0);
-                if gain > 0 {
-                    cand = narrowed;
-                }
-            }
+        // Steps 4.2–4.3: screen strongest-to-weakest over *all* of n's
+        // preferences, honorable and deferred alike. An honorable
+        // preference narrows the candidate set when it can still be
+        // honored within it; a deferred (unallocated-partner) preference
+        // narrows to the registers that leave the partner able to honor
+        // it later. Interleaving by strength matters: a strong deferred
+        // pairing must be able to veto a weaker coalesce before the
+        // coalesce pins the candidate set (Figure 5(a)).
+        enum Screen<'p> {
+            Honor(Honorable),
+            Defer(&'p Preference),
         }
-
-        // Step 4.3: keep registers that let unallocated partners still
-        // honor their pairing with us.
-        let reserved = self.reserve_for_partners(n, &cand);
-        if !reserved.is_empty() {
-            cand = reserved;
+        let mut screens: Vec<(i64, Screen<'_>)> = honorable
+            .into_iter()
+            .map(|h| {
+                let s = h
+                    .regs
+                    .iter()
+                    .map(|&r| h.pref.strength_with(r, self.target))
+                    .max()
+                    .unwrap_or(i64::MIN);
+                (s, Screen::Honor(h))
+            })
+            .collect();
+        for pref in self.deferred_prefs(n) {
+            screens.push((pref.best_strength(), Screen::Defer(pref)));
+        }
+        screens.sort_by_key(|(s, _)| std::cmp::Reverse(*s));
+        let mut cand = avail;
+        for (strength, screen) in &screens {
+            let narrowed: Vec<PhysReg> = match screen {
+                Screen::Honor(h) => {
+                    let regs: Vec<PhysReg> =
+                        cand.iter().copied().filter(|r| h.regs.contains(r)).collect();
+                    let gain = regs
+                        .iter()
+                        .map(|&r| h.pref.strength_with(r, self.target))
+                        .max()
+                        .unwrap_or(0);
+                    if gain > 0 {
+                        regs
+                    } else {
+                        continue;
+                    }
+                }
+                Screen::Defer(pref) => {
+                    if *strength <= 0 {
+                        continue;
+                    }
+                    self.partner_feasible(pref, &cand)
+                }
+            };
+            // A filter that would empty the set is skipped: the
+            // preference is abandoned rather than hurting this node.
+            if !narrowed.is_empty() {
+                cand = narrowed;
+            }
         }
 
         // Step 4.4: pick.
@@ -323,19 +348,10 @@ impl Selector<'_> {
         self.assignment[n.index()] = Some(reg);
     }
 
-    /// Step 4.3: of `cand`, the registers that do not prevent a deferred
-    /// (unallocated-partner) preference from being honored later:
-    ///
-    /// * a *coalesce* partner must later be able to take the same register
-    ///   we pick, so registers already blocked by the partner's allocated
-    ///   neighbors are removed;
-    /// * a *sequential* partner must later find a register that pairs with
-    ///   ours under the target rule.
-    ///
-    /// Strong deferred preferences are applied first; a filter that would
-    /// empty the candidate set is skipped (the preference is abandoned
-    /// rather than hurting this node).
-    fn reserve_for_partners(&self, n: NodeId, cand: &[PhysReg]) -> Vec<PhysReg> {
+    /// The preferences of `n` whose partner node is still unallocated
+    /// (deferred in step 2.2): they cannot be honored now, but they can
+    /// reserve registers that keep them honorable later.
+    fn deferred_prefs(&self, n: NodeId) -> Vec<&Preference> {
         let mut deferred: Vec<&Preference> = Vec::new();
         for pref in self.rpg.prefs(n) {
             if let PrefTarget::Node(m) = pref.target {
@@ -349,47 +365,45 @@ impl Selector<'_> {
                 }
             }
         }
-        if deferred.is_empty() {
+        deferred
+    }
+
+    /// The registers of `cand` that do not prevent the deferred
+    /// preference `pref` from being honored later:
+    ///
+    /// * a *coalesce* partner must later be able to take the same register
+    ///   we pick, so registers already blocked by the partner's allocated
+    ///   neighbors are removed;
+    /// * a *sequential* partner must later find a register that pairs with
+    ///   ours under the target rule.
+    fn partner_feasible(&self, pref: &Preference, cand: &[PhysReg]) -> Vec<PhysReg> {
+        let PrefTarget::Node(m) = pref.target else {
             return cand.to_vec();
-        }
-        deferred.sort_by_key(|p| std::cmp::Reverse(p.best_strength()));
-        let mut cand = cand.to_vec();
-        for pref in deferred {
-            let PrefTarget::Node(m) = pref.target else {
-                continue;
-            };
-            let m = self.ifg.rep(m);
-            let partner_blocked: Vec<PhysReg> = self
-                .ifg
-                .neighbors(m)
-                .into_iter()
-                .filter_map(|x| self.assignment[x.index()])
-                .collect();
-            let narrowed: Vec<PhysReg> = cand
-                .iter()
-                .copied()
-                .filter(|&r| match pref.kind {
-                    PrefKind::Coalesce => !partner_blocked.contains(&r),
-                    PrefKind::SequentialPlus | PrefKind::SequentialMinus => {
-                        self.target.regs(self.nodes.class()).any(|s| {
-                            s != r
-                                && !partner_blocked.contains(&s)
-                                && match pref.kind {
-                                    PrefKind::SequentialPlus => {
-                                        self.target.paired_load.allows(r, s)
-                                    }
-                                    _ => self.target.paired_load.allows(s, r),
-                                }
-                        })
-                    }
-                    PrefKind::Prefers => true,
-                })
-                .collect();
-            if !narrowed.is_empty() {
-                cand = narrowed;
-            }
-        }
-        cand
+        };
+        let m = self.ifg.rep(m);
+        let partner_blocked: Vec<PhysReg> = self
+            .ifg
+            .neighbors(m)
+            .into_iter()
+            .filter_map(|x| self.assignment[x.index()])
+            .collect();
+        cand.iter()
+            .copied()
+            .filter(|&r| match pref.kind {
+                PrefKind::Coalesce => !partner_blocked.contains(&r),
+                PrefKind::SequentialPlus | PrefKind::SequentialMinus => {
+                    self.target.regs(self.nodes.class()).any(|s| {
+                        s != r
+                            && !partner_blocked.contains(&s)
+                            && match pref.kind {
+                                PrefKind::SequentialPlus => self.target.paired_load.allows(r, s),
+                                _ => self.target.paired_load.allows(s, r),
+                            }
+                    })
+                }
+                PrefKind::Prefers => true,
+            })
+            .collect()
     }
 
     fn spill(&mut self, n: NodeId) {

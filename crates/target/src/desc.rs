@@ -1,0 +1,287 @@
+//! Target descriptions: register files, calling convention, and the
+//! irregularities the paper's preferences exploit.
+
+use crate::{PairedLoadRule, PhysReg, PressureModel};
+use pdgc_ir::RegClass;
+
+/// Per-class register-file description.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ClassDesc {
+    /// Registers in the file.
+    pub num_regs: usize,
+    /// Volatile (caller-saved) registers: indices `0..num_volatile`.
+    /// The rest, `num_volatile..num_regs`, are non-volatile
+    /// (callee-saved).
+    pub num_volatile: usize,
+    /// Limited register usage (the paper's §3.1 x86 example): when
+    /// `Some(n)`, only registers `0..n` are byte-capable; `None` means
+    /// no restriction.
+    pub byte_regs: Option<u8>,
+}
+
+/// A target and its ABI: one register file per class, a
+/// volatile/non-volatile split, argument and return registers, an
+/// optional dedicated division register, and the paired-load rule.
+///
+/// The convention is uniform across the modelled targets: arguments are
+/// passed in the volatile registers in index order (per class), and
+/// results return in register 0 of the result's class.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TargetDesc {
+    /// Target name, as accepted by the CLI (e.g. `ia64-16`).
+    pub name: String,
+    /// Destination constraint for fused paired loads.
+    pub paired_load: PairedLoadRule,
+    /// Dedicated division register (the paper's x86 example of a
+    /// dedicated-register operation): when `Some`, integer `div`
+    /// results are pinned to it.
+    pub div_reg: Option<PhysReg>,
+    classes: [ClassDesc; 2],
+}
+
+impl TargetDesc {
+    /// An IA-64-like target: parity-paired loads, no byte restriction,
+    /// no dedicated registers, file size per `model`.
+    pub fn ia64_like(model: PressureModel) -> TargetDesc {
+        let class = ClassDesc {
+            num_regs: model.num_regs(),
+            num_volatile: model.num_volatile(),
+            byte_regs: None,
+        };
+        TargetDesc {
+            name: format!("ia64-{}", model.num_regs()),
+            paired_load: PairedLoadRule::Parity,
+            div_reg: None,
+            classes: [class.clone(), class],
+        }
+    }
+
+    /// An x86-like target: only the first four integer registers are
+    /// byte-capable, division results are pinned to `r0` (rax-style),
+    /// and paired loads require sequential destinations.
+    pub fn x86_like(model: PressureModel) -> TargetDesc {
+        let int = ClassDesc {
+            num_regs: model.num_regs(),
+            num_volatile: model.num_volatile(),
+            byte_regs: Some(4),
+        };
+        let float = ClassDesc {
+            byte_regs: None,
+            ..int.clone()
+        };
+        TargetDesc {
+            name: format!("x86-{}", model.num_regs()),
+            paired_load: PairedLoadRule::Sequential,
+            div_reg: Some(PhysReg::int(0)),
+            classes: [int, float],
+        }
+    }
+
+    /// A tiny regular target with `n` registers per class, the first
+    /// `n / 2` volatile — for unit tests that need controlled pressure.
+    pub fn toy(n: u8) -> TargetDesc {
+        let class = ClassDesc {
+            num_regs: n as usize,
+            num_volatile: n as usize / 2,
+            byte_regs: None,
+        };
+        TargetDesc {
+            name: format!("toy-{n}"),
+            paired_load: PairedLoadRule::Parity,
+            div_reg: None,
+            classes: [class.clone(), class],
+        }
+    }
+
+    /// The three-register machine of the paper's Figure 7: `r0` is the
+    /// first argument and return register, `r1` the second argument
+    /// register (both volatile), and `r2` is non-volatile. Paired loads
+    /// follow the different-parity rule. (The paper numbers these
+    /// r1/r2/r3; we index from zero.)
+    pub fn figure7() -> TargetDesc {
+        let class = ClassDesc {
+            num_regs: 3,
+            num_volatile: 2,
+            byte_regs: None,
+        };
+        TargetDesc {
+            name: "figure7".to_string(),
+            paired_load: PairedLoadRule::Parity,
+            div_reg: None,
+            classes: [class.clone(), class],
+        }
+    }
+
+    /// The register-file description of `class`.
+    pub fn class(&self, class: RegClass) -> &ClassDesc {
+        &self.classes[class.index()]
+    }
+
+    /// Registers in `class`'s file.
+    pub fn num_regs(&self, class: RegClass) -> usize {
+        self.class(class).num_regs
+    }
+
+    /// All registers of `class`, in index order.
+    pub fn regs(&self, class: RegClass) -> impl Iterator<Item = PhysReg> {
+        (0..self.num_regs(class)).map(move |i| PhysReg::new(class, i as u8))
+    }
+
+    /// Whether `reg` is volatile (caller-saved).
+    pub fn is_volatile(&self, reg: PhysReg) -> bool {
+        reg.index() < self.class(reg.class()).num_volatile
+    }
+
+    /// The volatile registers of `class`, in index order.
+    pub fn volatiles(&self, class: RegClass) -> impl Iterator<Item = PhysReg> {
+        (0..self.class(class).num_volatile).map(move |i| PhysReg::new(class, i as u8))
+    }
+
+    /// The non-volatile registers of `class`, in index order.
+    pub fn nonvolatiles(&self, class: RegClass) -> impl Iterator<Item = PhysReg> {
+        let c = self.class(class);
+        (c.num_volatile..c.num_regs).map(move |i| PhysReg::new(class, i as u8))
+    }
+
+    /// The register carrying the `i`-th argument of `class` (per-class
+    /// indexing), or `None` when the convention runs out.
+    pub fn arg_reg(&self, class: RegClass, i: usize) -> Option<PhysReg> {
+        (i < self.num_arg_regs(class)).then(|| PhysReg::new(class, i as u8))
+    }
+
+    /// How many arguments of `class` the convention can carry: all the
+    /// class's volatile registers.
+    pub fn num_arg_regs(&self, class: RegClass) -> usize {
+        self.class(class).num_volatile
+    }
+
+    /// The register in which a result of `class` is returned.
+    pub fn ret_reg(&self, class: RegClass) -> PhysReg {
+        PhysReg::new(class, 0)
+    }
+
+    /// Whether a byte load may target `reg` without an explicit
+    /// zero-extension.
+    pub fn is_byte_capable(&self, reg: PhysReg) -> bool {
+        match self.class(reg.class()).byte_regs {
+            Some(n) => reg.index() < n as usize,
+            None => true,
+        }
+    }
+
+    /// Whether `class` restricts which registers byte operations may
+    /// use (the paper's *limited register usage*).
+    pub fn has_byte_restriction(&self, class: RegClass) -> bool {
+        self.class(class).byte_regs.is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MODELS: [PressureModel; 3] =
+        [PressureModel::High, PressureModel::Middle, PressureModel::Low];
+
+    #[test]
+    fn volatile_sets_partition_the_file() {
+        for model in MODELS {
+            let t = TargetDesc::ia64_like(model);
+            for class in RegClass::ALL {
+                let vol: Vec<_> = t.volatiles(class).collect();
+                let nonvol: Vec<_> = t.nonvolatiles(class).collect();
+                assert_eq!(vol.len() + nonvol.len(), t.num_regs(class));
+                for r in &vol {
+                    assert!(t.is_volatile(*r));
+                    assert!(!nonvol.contains(r));
+                }
+                for r in &nonvol {
+                    assert!(!t.is_volatile(*r));
+                }
+                let mut all: Vec<_> = vol.into_iter().chain(nonvol).collect();
+                all.sort();
+                assert_eq!(all, t.regs(class).collect::<Vec<_>>());
+            }
+        }
+    }
+
+    #[test]
+    fn arg_and_ret_registers_in_range_and_volatile() {
+        for model in MODELS {
+            for t in [TargetDesc::ia64_like(model), TargetDesc::x86_like(model)] {
+                for class in RegClass::ALL {
+                    let n = t.num_arg_regs(class);
+                    assert_eq!(n, model.num_volatile());
+                    for i in 0..n {
+                        let r = t.arg_reg(class, i).unwrap();
+                        assert!(r.index() < t.num_regs(class));
+                        assert!(t.is_volatile(r));
+                        assert_eq!(r.class(), class);
+                    }
+                    assert_eq!(t.arg_reg(class, n), None);
+                    let ret = t.ret_reg(class);
+                    assert!(ret.index() < t.num_regs(class));
+                    assert!(t.is_volatile(ret));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn x86_byte_capability_is_exactly_the_first_four_int_regs() {
+        let t = TargetDesc::x86_like(PressureModel::Middle);
+        assert!(t.has_byte_restriction(RegClass::Int));
+        for r in t.regs(RegClass::Int) {
+            assert_eq!(t.is_byte_capable(r), r.index() < 4);
+        }
+        // Floats carry no byte restriction.
+        assert!(!t.has_byte_restriction(RegClass::Float));
+        assert_eq!(t.class(RegClass::Int).byte_regs, Some(4));
+    }
+
+    #[test]
+    fn ia64_has_no_byte_restriction() {
+        let t = TargetDesc::ia64_like(PressureModel::High);
+        for class in RegClass::ALL {
+            assert!(!t.has_byte_restriction(class));
+            assert!(t.regs(class).all(|r| t.is_byte_capable(r)));
+        }
+    }
+
+    #[test]
+    fn x86_divides_through_r0() {
+        let t = TargetDesc::x86_like(PressureModel::Middle);
+        assert_eq!(t.div_reg, Some(PhysReg::int(0)));
+        assert_eq!(TargetDesc::ia64_like(PressureModel::Middle).div_reg, None);
+    }
+
+    #[test]
+    fn toy_splits_in_half() {
+        let t = TargetDesc::toy(8);
+        assert_eq!(t.num_regs(RegClass::Int), 8);
+        assert_eq!(t.volatiles(RegClass::Int).count(), 4);
+        assert_eq!(t.nonvolatiles(RegClass::Int).count(), 4);
+        // Odd sizes round the volatile half down.
+        let t3 = TargetDesc::toy(3);
+        assert_eq!(t3.volatiles(RegClass::Int).count(), 1);
+        assert_eq!(t3.nonvolatiles(RegClass::Int).count(), 2);
+    }
+
+    #[test]
+    fn figure7_matches_the_paper() {
+        let t = TargetDesc::figure7();
+        assert_eq!(t.num_regs(RegClass::Int), 3);
+        assert_eq!(t.arg_reg(RegClass::Int, 0), Some(PhysReg::int(0)));
+        assert_eq!(t.arg_reg(RegClass::Int, 1), Some(PhysReg::int(1)));
+        assert_eq!(t.ret_reg(RegClass::Int), PhysReg::int(0));
+        assert!(!t.is_volatile(PhysReg::int(2)));
+        assert_eq!(t.paired_load, PairedLoadRule::Parity);
+    }
+
+    #[test]
+    fn names_round_trip_through_the_models() {
+        assert_eq!(TargetDesc::ia64_like(PressureModel::High).name, "ia64-16");
+        assert_eq!(TargetDesc::x86_like(PressureModel::Low).name, "x86-32");
+        assert_eq!(TargetDesc::figure7().name, "figure7");
+    }
+}

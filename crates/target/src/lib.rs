@@ -1,0 +1,35 @@
+//! Target and ABI models for the pdgc register allocator.
+//!
+//! This crate owns everything the paper calls "machine dependent": the
+//! register files and their volatile/non-volatile split, the calling
+//! convention (argument and return registers), dedicated-register
+//! operations, paired-load destination rules, the three pressure models
+//! of the evaluation (§6), and the allocated machine code the rewriter
+//! emits ([`MachFunction`] / [`MInst`]).
+//!
+//! ```
+//! use pdgc_ir::RegClass;
+//! use pdgc_target::{PhysReg, PressureModel, TargetDesc};
+//!
+//! let target = TargetDesc::ia64_like(PressureModel::High);
+//! assert_eq!(target.num_regs(RegClass::Int), 16);
+//! // The lower half of the file is volatile; arguments go there.
+//! assert!(target.is_volatile(PhysReg::int(7)));
+//! assert!(!target.is_volatile(PhysReg::int(8)));
+//! assert_eq!(target.arg_reg(RegClass::Int, 0), Some(PhysReg::int(0)));
+//! // Parity-paired loads accept adjacent destinations.
+//! assert!(target.paired_load.allows(PhysReg::int(1), PhysReg::int(2)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod desc;
+mod mach;
+mod pressure;
+mod reg;
+
+pub use desc::{ClassDesc, TargetDesc};
+pub use mach::{MInst, MachFunction};
+pub use pressure::{PairedLoadRule, PressureModel};
+pub use reg::PhysReg;

@@ -1,0 +1,106 @@
+//! The paper's register-pressure models and paired-load rules.
+
+use crate::PhysReg;
+
+/// The three register-file sizes of the paper's evaluation (§6): the
+/// same workloads are allocated against 16, 24, and 32 registers per
+/// class to vary pressure. Half of each file is volatile
+/// (caller-saved), half non-volatile (callee-saved).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PressureModel {
+    /// 32 registers per class: low pressure.
+    Low,
+    /// 24 registers per class: middle pressure.
+    Middle,
+    /// 16 registers per class: high pressure.
+    High,
+}
+
+impl PressureModel {
+    /// Registers per class under this model.
+    pub fn num_regs(self) -> usize {
+        match self {
+            PressureModel::Low => 32,
+            PressureModel::Middle => 24,
+            PressureModel::High => 16,
+        }
+    }
+
+    /// Volatile (caller-saved) registers per class: the lower half of
+    /// the file.
+    pub fn num_volatile(self) -> usize {
+        self.num_regs() / 2
+    }
+}
+
+/// Which destination-register pairs a fused paired load may write.
+///
+/// The rule is consulted as `allows(dst1, dst2)` where `dst1` receives
+/// the lower-addressed word and `dst2` the higher.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum PairedLoadRule {
+    /// IA-64-like: the two destinations must be adjacent registers of
+    /// different parity (indices differing by exactly one, in either
+    /// order).
+    Parity,
+    /// Power/S390-like: the destinations must be the sequential pair
+    /// `r`, `r+1`, in that order.
+    Sequential,
+}
+
+impl PairedLoadRule {
+    /// Whether a paired load may write its first word to `dst1` and its
+    /// second to `dst2`.
+    pub fn allows(self, dst1: PhysReg, dst2: PhysReg) -> bool {
+        if dst1.class() != dst2.class() {
+            return false;
+        }
+        match self {
+            PairedLoadRule::Parity => dst1.index().abs_diff(dst2.index()) == 1,
+            PairedLoadRule::Sequential => dst2.index() == dst1.index() + 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_sizes() {
+        assert_eq!(PressureModel::High.num_regs(), 16);
+        assert_eq!(PressureModel::Middle.num_regs(), 24);
+        assert_eq!(PressureModel::Low.num_regs(), 32);
+    }
+
+    #[test]
+    fn half_the_file_is_volatile() {
+        for m in [PressureModel::High, PressureModel::Middle, PressureModel::Low] {
+            assert_eq!(m.num_volatile() * 2, m.num_regs());
+        }
+    }
+
+    #[test]
+    fn parity_admits_adjacent_either_order() {
+        let p = PairedLoadRule::Parity;
+        assert!(p.allows(PhysReg::int(1), PhysReg::int(2)));
+        assert!(p.allows(PhysReg::int(2), PhysReg::int(1)));
+        assert!(!p.allows(PhysReg::int(1), PhysReg::int(3)));
+        assert!(!p.allows(PhysReg::int(1), PhysReg::int(1)));
+    }
+
+    #[test]
+    fn sequential_requires_r_then_r_plus_one() {
+        let s = PairedLoadRule::Sequential;
+        assert!(s.allows(PhysReg::int(4), PhysReg::int(5)));
+        assert!(!s.allows(PhysReg::int(5), PhysReg::int(4)));
+        assert!(!s.allows(PhysReg::int(4), PhysReg::int(6)));
+    }
+
+    #[test]
+    fn rules_reject_cross_class_pairs() {
+        for rule in [PairedLoadRule::Parity, PairedLoadRule::Sequential] {
+            assert!(!rule.allows(PhysReg::int(0), PhysReg::float(1)));
+        }
+    }
+}

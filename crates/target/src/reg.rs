@@ -1,0 +1,86 @@
+//! Physical registers.
+
+use pdgc_ir::RegClass;
+use std::fmt;
+
+/// A physical register: a class and an index within that class's file.
+///
+/// Integer registers print as `r0`, `r1`, …; floating-point registers as
+/// `f0`, `f1`, …. The derived ordering sorts by class first, then index,
+/// which gives deterministic callee-save lists and report tables.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct PhysReg {
+    class: RegClass,
+    index: u8,
+}
+
+impl PhysReg {
+    /// A register of `class` at `index`.
+    pub fn new(class: RegClass, index: u8) -> PhysReg {
+        PhysReg { class, index }
+    }
+
+    /// The integer register `r{index}`.
+    pub fn int(index: u8) -> PhysReg {
+        PhysReg::new(RegClass::Int, index)
+    }
+
+    /// The floating-point register `f{index}`.
+    pub fn float(index: u8) -> PhysReg {
+        PhysReg::new(RegClass::Float, index)
+    }
+
+    /// The register's class.
+    pub fn class(self) -> RegClass {
+        self.class
+    }
+
+    /// The register's index within its class's file.
+    pub fn index(self) -> usize {
+        self.index as usize
+    }
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Float => write!(f, "f{}", self.index),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree_with_new() {
+        assert_eq!(PhysReg::int(3), PhysReg::new(RegClass::Int, 3));
+        assert_eq!(PhysReg::float(3), PhysReg::new(RegClass::Float, 3));
+        assert_ne!(PhysReg::int(3), PhysReg::float(3));
+    }
+
+    #[test]
+    fn accessors() {
+        let r = PhysReg::int(5);
+        assert_eq!(r.class(), RegClass::Int);
+        assert_eq!(r.index(), 5);
+    }
+
+    #[test]
+    fn display_by_class() {
+        assert_eq!(PhysReg::int(0).to_string(), "r0");
+        assert_eq!(PhysReg::float(12).to_string(), "f12");
+    }
+
+    #[test]
+    fn ordering_is_class_then_index() {
+        let mut regs = vec![PhysReg::float(0), PhysReg::int(2), PhysReg::int(1)];
+        regs.sort();
+        assert_eq!(
+            regs,
+            vec![PhysReg::int(1), PhysReg::int(2), PhysReg::float(0)]
+        );
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests over the target descriptions: the invariants every
+//! consumer of `pdgc-target` relies on, checked across the whole
+//! constructor/model space.
+
+use pdgc_ir::RegClass;
+use pdgc_target::{PairedLoadRule, PhysReg, PressureModel, TargetDesc};
+use proptest::prelude::*;
+
+fn models() -> impl Strategy<Value = PressureModel> {
+    prop_oneof![
+        Just(PressureModel::High),
+        Just(PressureModel::Middle),
+        Just(PressureModel::Low),
+    ]
+}
+
+fn targets() -> impl Strategy<Value = TargetDesc> {
+    prop_oneof![
+        models().prop_map(TargetDesc::ia64_like),
+        models().prop_map(TargetDesc::x86_like),
+        (2u8..=32).prop_map(TargetDesc::toy),
+        Just(TargetDesc::figure7()),
+    ]
+}
+
+proptest! {
+    /// `volatiles` and `nonvolatiles` partition `regs` for every class.
+    #[test]
+    fn volatility_partitions_the_file(t in targets()) {
+        for class in RegClass::ALL {
+            let vol: Vec<PhysReg> = t.volatiles(class).collect();
+            let nonvol: Vec<PhysReg> = t.nonvolatiles(class).collect();
+            let all: Vec<PhysReg> = t.regs(class).collect();
+            prop_assert_eq!(vol.len() + nonvol.len(), all.len());
+            for r in &all {
+                let in_vol = vol.contains(r);
+                let in_nonvol = nonvol.contains(r);
+                prop_assert!(in_vol != in_nonvol);
+                prop_assert_eq!(t.is_volatile(*r), in_vol);
+            }
+        }
+    }
+
+    /// Every argument register is in range and volatile; indexes past
+    /// the convention yield `None`.
+    #[test]
+    fn arg_regs_in_range_and_volatile(t in targets(), i in 0usize..64) {
+        for class in RegClass::ALL {
+            match t.arg_reg(class, i) {
+                Some(r) => {
+                    prop_assert!(i < t.num_arg_regs(class));
+                    prop_assert!(r.index() < t.num_regs(class));
+                    prop_assert!(t.is_volatile(r));
+                }
+                None => prop_assert!(i >= t.num_arg_regs(class)),
+            }
+            let ret = t.ret_reg(class);
+            prop_assert!(ret.index() < t.num_regs(class));
+            prop_assert!(t.is_volatile(ret));
+        }
+    }
+
+    /// Parity pairing admits exactly the even/odd-adjacent pairs.
+    #[test]
+    fn parity_is_adjacency(a in 0u8..64, b in 0u8..64) {
+        let allowed = PairedLoadRule::Parity.allows(PhysReg::int(a), PhysReg::int(b));
+        prop_assert_eq!(allowed, a.abs_diff(b) == 1);
+        if allowed {
+            // Adjacent indices always differ in parity.
+            prop_assert_ne!(a % 2, b % 2);
+        }
+    }
+
+    /// Sequential pairing admits exactly `r, r+1`.
+    #[test]
+    fn sequential_is_successor(a in 0u8..64, b in 0u8..64) {
+        let allowed = PairedLoadRule::Sequential.allows(PhysReg::int(a), PhysReg::int(b));
+        prop_assert_eq!(allowed, b == a + 1);
+    }
+
+    /// Byte capability on the x86-like target covers exactly the first
+    /// four integer registers, under every pressure model.
+    #[test]
+    fn x86_byte_caps_are_first_four(m in models()) {
+        let t = TargetDesc::x86_like(m);
+        for r in t.regs(RegClass::Int) {
+            prop_assert_eq!(t.is_byte_capable(r), r.index() < 4);
+        }
+        for r in t.regs(RegClass::Float) {
+            prop_assert!(t.is_byte_capable(r));
+        }
+    }
+}

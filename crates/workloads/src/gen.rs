@@ -189,7 +189,7 @@ impl<'a> FuncGen<'a> {
         let join = self.b.create_block();
         let x = self.pick_int();
         let y = self.pick_int();
-        let cmp = [CmpOp::Lt, CmpOp::Eq, CmpOp::Ge][self.rng.gen_range(0..3)];
+        let cmp = [CmpOp::Lt, CmpOp::Eq, CmpOp::Ge][self.rng.gen_range(0..3usize)];
         self.b.branch(cmp, x, y, then_b, else_b);
 
         // Arms: values created inside an arm stay local to it; only φ
@@ -293,13 +293,13 @@ impl<'a> FuncGen<'a> {
         if !self.floats.is_empty() && self.rng.gen_bool(self.prof.float_ratio) {
             let a = self.pick_float();
             let c = self.pick_float();
-            let op = [BinOp::FAdd, BinOp::FSub, BinOp::FMul][self.rng.gen_range(0..3)];
+            let op = [BinOp::FAdd, BinOp::FSub, BinOp::FMul][self.rng.gen_range(0..3usize)];
             let v = self.b.bin(op, a, c);
             self.floats.push(v);
         } else {
             let a = self.pick_int();
             let op = [BinOp::Add, BinOp::Sub, BinOp::Xor, BinOp::And, BinOp::Or, BinOp::Mul]
-                [self.rng.gen_range(0..6)];
+                [self.rng.gen_range(0..6usize)];
             if self.rng.gen_bool(0.4) {
                 let imm = self.rng.gen_range(1..64);
                 let v = self.b.bin_imm(op, a, imm);

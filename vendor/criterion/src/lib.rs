@@ -1,0 +1,182 @@
+//! A minimal offline stand-in for the subset of `criterion` this
+//! workspace uses: `Criterion::bench_function`, benchmark groups with
+//! `bench_with_input`, and the `criterion_group!` / `criterion_main!`
+//! macros.
+//!
+//! Each benchmark body is timed with `std::time::Instant` over
+//! `sample_size` batches and the best per-iteration time is printed —
+//! enough to eyeball relative costs and to keep `cargo bench` / the
+//! `--all-targets` build green without the real statistics engine.
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// An opaque hint that keeps the optimizer from deleting a value.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Runs one benchmark body repeatedly; handed to the bench closure.
+pub struct Bencher {
+    samples: usize,
+    /// Best observed per-iteration time, in nanoseconds.
+    best_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, keeping the fastest per-iteration result.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, then `samples` timed batches whose size
+        // grows until a batch takes a measurable amount of time.
+        black_box(f());
+        let mut batch = 1u64;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            let per_iter = elapsed.as_secs_f64() * 1e9 / batch as f64;
+            if per_iter < self.best_ns {
+                self.best_ns = per_iter;
+            }
+            if elapsed.as_micros() < 50 && batch < 1 << 20 {
+                batch *= 2;
+            }
+        }
+    }
+}
+
+fn run_bench(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher { samples, best_ns: f64::INFINITY };
+    f(&mut b);
+    let ns = b.best_ns;
+    if ns >= 1e6 {
+        println!("bench {label:<40} {:>10.3} ms/iter", ns / 1e6);
+    } else if ns >= 1e3 {
+        println!("bench {label:<40} {:>10.3} µs/iter", ns / 1e3);
+    } else {
+        println!("bench {label:<40} {ns:>10.1} ns/iter");
+    }
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed batches each benchmark runs.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Times a single benchmark body.
+    pub fn bench_function<F: FnOnce(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_bench(name, self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), criterion: self }
+    }
+}
+
+/// A parameterized benchmark name.
+pub struct BenchmarkId {
+    parameter: String,
+}
+
+impl BenchmarkId {
+    /// An id distinguished only by a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { parameter: parameter.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Times one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.parameter);
+        run_bench(&label, self.criterion.sample_size, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (No statistics to flush in this stand-in.)
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group: either
+/// `criterion_group!(name, target, ...)` or the struct-like form with
+/// `name = ...; config = ...; targets = ...`.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn work(c: &mut Criterion) {
+        c.bench_function("test/add", |b| b.iter(|| black_box(2u64) + black_box(3)));
+        let mut group = c.benchmark_group("test/group");
+        group.bench_with_input(BenchmarkId::from_parameter("n=4"), &4u64, |b, &n| {
+            b.iter(|| (0..n).sum::<u64>())
+        });
+        group.finish();
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().sample_size(3);
+        targets = work
+    }
+
+    #[test]
+    fn groups_run() {
+        benches();
+    }
+}

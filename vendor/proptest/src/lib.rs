@@ -1,0 +1,562 @@
+//! A small offline stand-in for the subset of `proptest` this workspace
+//! uses: the `proptest!` macro, `prop_assert*` / `prop_assume!`,
+//! `prop_oneof!`, `Just`, `any`, range and tuple strategies, `prop_map`,
+//! and `collection::vec`.
+//!
+//! Cases are generated from a fixed-seed deterministic PRNG, so runs are
+//! reproducible. Unlike the real crate there is **no shrinking** and no
+//! persisted regression corpus: a failing case panics with the assertion
+//! message straight away.
+
+#![forbid(unsafe_code)]
+
+pub mod test_runner {
+    //! Case generation and the pass/fail/reject protocol.
+
+    /// Why a single generated case did not pass.
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// An assertion failed; the whole test fails.
+        Fail(String),
+        /// The case was vetoed by `prop_assume!`; generate another.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// A rejection with the given message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Per-case result used by generated test bodies.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Knobs honoured by `#![proptest_config(..)]`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of passing cases required.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config that runs `cases` passing cases.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 64 }
+        }
+    }
+
+    /// Deterministic case source handed to strategies.
+    #[derive(Clone, Debug)]
+    pub struct TestRunner {
+        state: u64,
+    }
+
+    impl TestRunner {
+        /// A runner with the fixed default seed.
+        pub fn new() -> Self {
+            TestRunner { state: 0x8537_1f2f_9a6d_0c41 }
+        }
+
+        /// The next 64 random bits (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform index in `0..n`; `n` must be non-zero.
+        pub fn pick(&mut self, n: usize) -> usize {
+            assert!(n > 0, "cannot pick from an empty set");
+            (self.next_u64() % n as u64) as usize
+        }
+
+        /// A uniform float in `[0, 1)`.
+        pub fn f64_unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    impl Default for TestRunner {
+        fn default() -> Self {
+            TestRunner::new()
+        }
+    }
+
+    /// Drives `case` until `config.cases` cases pass. Rejections retry
+    /// with fresh inputs; a failure panics with the case's message.
+    pub fn run(config: ProptestConfig, mut case: impl FnMut(&mut TestRunner) -> TestCaseResult) {
+        let mut runner = TestRunner::new();
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let reject_cap = config.cases.saturating_mul(20).saturating_add(256);
+        while passed < config.cases {
+            match case(&mut runner) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected < reject_cap,
+                        "too many rejected cases ({rejected}) after {passed} passes"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest case failed after {passed} passes: {msg}")
+                }
+            }
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies and combinators.
+
+    use crate::test_runner::TestRunner;
+
+    /// Something that can produce values of `Self::Value`.
+    ///
+    /// Unlike real proptest there is no shrink tree: a strategy is just
+    /// a sampler.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generates one value.
+        fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// A strategy producing `f(value)`.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Type-erases this strategy.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// A type-erased strategy, as produced by [`Strategy::boxed`].
+    pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            self.0.new_value(runner)
+        }
+    }
+
+    /// Always produces a clone of the wrapped value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _runner: &mut TestRunner) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// The result of [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn new_value(&self, runner: &mut TestRunner) -> O {
+            (self.f)(self.inner.new_value(runner))
+        }
+    }
+
+    /// Uniform choice between alternatives; backs `prop_oneof!`.
+    pub struct Union<T> {
+        options: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        /// A union over `options`, each equally likely.
+        pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Union { options }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, runner: &mut TestRunner) -> T {
+            let i = runner.pick(self.options.len());
+            self.options[i].new_value(runner)
+        }
+    }
+
+    macro_rules! int_range_strategies {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn new_value(&self, runner: &mut TestRunner) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = self.end.abs_diff(self.start) as u64;
+                    self.start.wrapping_add((runner.next_u64() % span) as $t)
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn new_value(&self, runner: &mut TestRunner) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = hi.abs_diff(lo) as u64;
+                    if span == u64::MAX {
+                        return runner.next_u64() as $t;
+                    }
+                    lo.wrapping_add((runner.next_u64() % (span + 1)) as $t)
+                }
+            }
+        )*};
+    }
+
+    int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for core::ops::Range<f64> {
+        type Value = f64;
+        fn new_value(&self, runner: &mut TestRunner) -> f64 {
+            assert!(self.start < self.end, "cannot sample empty range");
+            self.start + runner.f64_unit() * (self.end - self.start)
+        }
+    }
+
+    macro_rules! tuple_strategies {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
+                    ($(self.$idx.new_value(runner),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategies! {
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+    }
+
+    /// Types with a canonical "any value" strategy.
+    pub trait Arbitrary: Sized {
+        /// One arbitrary value.
+        fn arbitrary(runner: &mut TestRunner) -> Self;
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(runner: &mut TestRunner) -> $t {
+                    runner.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(runner: &mut TestRunner) -> bool {
+            runner.next_u64() & 1 == 1
+        }
+    }
+
+    impl Arbitrary for f64 {
+        fn arbitrary(runner: &mut TestRunner) -> f64 {
+            runner.f64_unit()
+        }
+    }
+
+    /// The strategy returned by [`any`].
+    pub struct Any<A>(core::marker::PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn new_value(&self, runner: &mut TestRunner) -> A {
+            A::arbitrary(runner)
+        }
+    }
+
+    /// A strategy for any value of `A`.
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+
+    /// A length bound for [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_inclusive: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi_inclusive: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty size range");
+            SizeRange { lo: *r.start(), hi_inclusive: *r.end() }
+        }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
+            let span = self.size.hi_inclusive - self.size.lo + 1;
+            let len = self.size.lo + runner.pick(span.max(1));
+            (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+    }
+
+    /// A strategy for vectors of `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+/// Declares property tests. Each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` (the attribute is written by the caller, as with
+/// real proptest) that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)
+     $($(#[$attr:meta])*
+       fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                $crate::test_runner::run($cfg, |runner| {
+                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), runner);)+
+                    (|| -> $crate::test_runner::TestCaseResult { $body; Ok(()) })()
+                });
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(
+            @with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        );
+    };
+}
+
+/// Fails the current case when the condition is false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case when the operands are unequal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{:?}` == `{:?}`",
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: `{:?}` == `{:?}`: {}",
+            lhs,
+            rhs,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Fails the current case when the operands are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{:?}` != `{:?}`",
+            lhs,
+            rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: `{:?}` != `{:?}`: {}",
+            lhs,
+            rhs,
+            format!($($fmt)*)
+        );
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs) when the
+/// condition is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Uniform choice between the given strategies, which may be of
+/// different types as long as they generate the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Clone, Copy, Debug, PartialEq)]
+    enum Tri {
+        A,
+        B,
+        C,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..9, y in 2u8..=5) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((2..=5).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps(p in (0usize..10, 0usize..10), z in (0u8..4).prop_map(|v| v * 2)) {
+            prop_assert!(p.0 < 10 && p.1 < 10);
+            prop_assert_eq!(z % 2, 0);
+        }
+
+        #[test]
+        fn oneof_and_just(t in prop_oneof![Just(Tri::A), Just(Tri::B), (0u8..1).prop_map(|_| Tri::C)]) {
+            prop_assert_ne!(format!("{t:?}").len(), 0);
+        }
+
+        #[test]
+        fn assume_rejects(x in 0u32..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0, "x was {}", x);
+        }
+
+        #[test]
+        fn vectors_sized(v in crate::collection::vec((0usize..5, 0usize..5), 0..20)) {
+            prop_assert!(v.len() < 20);
+            for (a, b) in v {
+                prop_assert!(a < 5 && b < 5);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case failed")]
+    fn failures_panic() {
+        crate::test_runner::run(ProptestConfig::with_cases(5), |runner| {
+            let x = Strategy::new_value(&(0usize..10), runner);
+            prop_assert!(x >= 10, "x was {}", x);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn question_mark_works() {
+        crate::test_runner::run(ProptestConfig::with_cases(5), |_runner| {
+            let parsed: Result<u32, _> = "42".parse::<u32>();
+            let v = parsed.map_err(|e| TestCaseError::fail(format!("{e}")))?;
+            prop_assert_eq!(v, 42);
+            Ok(())
+        });
+    }
+}
