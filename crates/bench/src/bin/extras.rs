@@ -11,24 +11,28 @@
 //! 3. **Limited-usage preference** (x86-like target) — zero-extensions
 //!    avoided by the full allocator on a byte-load-dense workload.
 
-use pdgc_bench::{geo_mean, print_table, run_workload};
+use pdgc_bench::{geo_mean, print_table, run_workload_timed, write_results, WorkloadResult};
 use pdgc_core::baselines::{ChaitinAllocator, OptimisticAllocator, PriorityAllocator};
 use pdgc_core::{PreferenceAllocator, PreferenceSet, RegisterAllocator};
 use pdgc_target::{PressureModel, TargetDesc};
 use pdgc_workloads::{default_args, generate, specjvm_suite, WorkloadProfile};
 
 fn main() {
-    ablation();
+    let mut all_results = ablation();
     footprint();
     limited_usage();
-    precoalesce();
+    all_results.extend(precoalesce());
+    match write_results("extras", &all_results) {
+        Ok(path) => println!("results written to {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
 }
 
 /// The paper's §6.1/§8 proposed refinement — conservatively coalescing
 /// non-spill-causing pairs before simplification — measured where the
 /// one-by-one approach trails optimistic coalescing most: move
 /// elimination with plentiful registers.
-fn precoalesce() {
+fn precoalesce() -> Vec<WorkloadResult> {
     let target = TargetDesc::ia64_like(PressureModel::Low);
     println!("Pre-coalescing refinement: eliminated moves & spills, 32 registers");
     let algs: Vec<Box<dyn RegisterAllocator>> = vec![
@@ -36,16 +40,18 @@ fn precoalesce() {
         Box::new(PreferenceAllocator::coalescing_only().with_precoalesce()),
         Box::new(OptimisticAllocator),
     ];
+    let mut all = Vec::new();
     let mut table = Vec::new();
     for prof in specjvm_suite() {
         let w = generate(&prof);
         let mut row = vec![prof.name.clone()];
         for a in &algs {
-            let r = run_workload(a.as_ref(), &w, &target);
+            let r = run_workload_timed(a.as_ref(), &w, &target);
             row.push(format!(
                 "{}/{}",
                 r.stats.moves_eliminated, r.stats.spill_instructions
             ));
+            all.push(r);
         }
         table.push(row);
     }
@@ -54,9 +60,10 @@ fn precoalesce() {
         &table,
     );
     println!("(cells are eliminated-moves/spill-instructions)");
+    all
 }
 
-fn ablation() {
+fn ablation() -> Vec<WorkloadResult> {
     let target = TargetDesc::ia64_like(PressureModel::Middle);
     let configs: Vec<(&str, PreferenceSet)> = vec![
         ("coalesce", PreferenceSet::coalescing_only()),
@@ -82,6 +89,7 @@ fn ablation() {
     ];
 
     println!("Ablation: simulated elapsed time (kilocycles) per preference mix, 24 registers");
+    let mut all = Vec::new();
     let mut table = Vec::new();
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); configs.len()];
     for prof in specjvm_suite() {
@@ -90,7 +98,10 @@ fn ablation() {
             .iter()
             .map(|(_, prefs)| {
                 let alloc = PreferenceAllocator::with_preferences(*prefs);
-                run_workload(&alloc, &w, &target).cycles
+                let r = run_workload_timed(&alloc, &w, &target);
+                let c = r.cycles;
+                all.push(r);
+                c
             })
             .collect();
         let full = *cycles.last().unwrap() as f64;
@@ -108,6 +119,7 @@ fn ablation() {
         .chain(configs.iter().map(|(n, _)| *n))
         .collect();
     print_table(&headers, &table);
+    all
 }
 
 fn footprint() {

@@ -10,7 +10,7 @@
 //! three algorithms: ours restricted to coalescing, Park–Moon optimistic
 //! coalescing, and the full-preference allocator.
 
-use pdgc_bench::{geo_mean, print_table, run_workload};
+use pdgc_bench::{geo_mean, print_table, run_workload_timed, write_results, WorkloadResult};
 use pdgc_core::baselines::OptimisticAllocator;
 use pdgc_core::{PreferenceAllocator, RegisterAllocator};
 use pdgc_target::{PressureModel, TargetDesc};
@@ -23,6 +23,7 @@ fn main() {
         Box::new(PreferenceAllocator::full()),
     ];
 
+    let mut all_results: Vec<WorkloadResult> = Vec::new();
     for (sub, model) in [
         ("(a)", PressureModel::High),
         ("(b)", PressureModel::Middle),
@@ -37,10 +38,12 @@ fn main() {
         let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); algs.len()];
         for prof in specjvm_suite() {
             let w = generate(&prof);
-            let cycles: Vec<u64> = algs
+            let results: Vec<WorkloadResult> = algs
                 .iter()
-                .map(|a| run_workload(a.as_ref(), &w, &target).cycles)
+                .map(|a| run_workload_timed(a.as_ref(), &w, &target))
                 .collect();
+            let cycles: Vec<u64> = results.iter().map(|r| r.cycles).collect();
+            all_results.extend(results);
             let full = *cycles.last().unwrap() as f64;
             for (i, &c) in cycles.iter().enumerate() {
                 ratios[i].push(c as f64 / full);
@@ -56,5 +59,9 @@ fn main() {
             &["workload", "only-coalesce", "optimistic", "full-prefs"],
             &table,
         );
+    }
+    match write_results("fig10", &all_results) {
+        Ok(path) => println!("results written to {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
     }
 }

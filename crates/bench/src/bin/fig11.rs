@@ -6,7 +6,7 @@
 //! optimistic, Briggs+aggressive), the Lueh–Gross-style
 //! "aggressive+volatility" allocator, and full preferences (= 1.00).
 
-use pdgc_bench::{geo_mean, print_table, run_workload};
+use pdgc_bench::{geo_mean, print_table, run_workload_timed, write_results, WorkloadResult};
 use pdgc_core::baselines::{BriggsAllocator, CallCostAllocator, OptimisticAllocator};
 use pdgc_core::{PreferenceAllocator, RegisterAllocator};
 use pdgc_target::{PressureModel, TargetDesc};
@@ -23,14 +23,17 @@ fn main() {
     let target = TargetDesc::ia64_like(PressureModel::Middle);
 
     println!("Figure 11: elapsed time relative to full preferences, 24 registers");
+    let mut all_results: Vec<WorkloadResult> = Vec::new();
     let mut table = Vec::new();
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); algs.len()];
     for prof in specjvm_suite() {
         let w = generate(&prof);
-        let cycles: Vec<u64> = algs
+        let results: Vec<WorkloadResult> = algs
             .iter()
-            .map(|a| run_workload(a.as_ref(), &w, &target).cycles)
+            .map(|a| run_workload_timed(a.as_ref(), &w, &target))
             .collect();
+        let cycles: Vec<u64> = results.iter().map(|r| r.cycles).collect();
+        all_results.extend(results);
         let full = *cycles.last().unwrap() as f64;
         let mut row = vec![prof.name.clone()];
         for (i, &c) in cycles.iter().enumerate() {
@@ -54,4 +57,8 @@ fn main() {
         ],
         &table,
     );
+    match write_results("fig11", &all_results) {
+        Ok(path) => println!("results written to {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
 }

@@ -3,6 +3,7 @@
 //! the Coloring Precedence Graph, the final assignment, and the final
 //! machine code with its fused paired load.
 
+use pdgc_bench::{write_results, WorkloadResult};
 use pdgc_core::build::collect_copies;
 use pdgc_core::cost::CostModel;
 use pdgc_core::cpg::Cpg;
@@ -13,7 +14,44 @@ use pdgc_core::rpg::{build_rpg, PrefTarget};
 use pdgc_core::simplify::{simplify, SimplifyMode};
 use pdgc_core::{PreferenceAllocator, PreferenceSet, RegisterAllocator};
 use pdgc_ir::{BinOp, CmpOp, FunctionBuilder, RegClass};
+use pdgc_obs::{Event, JsonLinesSink, PhaseTimes, Tracer};
 use pdgc_target::TargetDesc;
+
+/// Duplicates every event to two tracers (here: the JSONL trace file and
+/// the per-phase accumulator feeding `results/fig7.json`).
+struct Tee<'a> {
+    a: &'a mut dyn Tracer,
+    b: &'a mut dyn Tracer,
+}
+
+impl Tracer for Tee<'_> {
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+
+    fn wants_graphs(&self) -> bool {
+        self.a.wants_graphs() || self.b.wants_graphs()
+    }
+
+    fn record(&mut self, event: &Event) {
+        self.a.record(event);
+        self.b.record(event);
+    }
+}
+
+/// `--trace PATH` / `--trace=PATH` from the command line, if given.
+fn trace_arg() -> Option<String> {
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        if a == "--trace" {
+            return it.next();
+        }
+        if let Some(v) = a.strip_prefix("--trace=") {
+            return Some(v.to_string());
+        }
+    }
+    None
+}
 
 fn main() {
     // Figure 7(a): the sample loop.
@@ -138,8 +176,30 @@ fn main() {
     }
     println!();
 
-    // The full allocation.
-    let out = PreferenceAllocator::full().allocate(&func, &target).unwrap();
+    // The full allocation, with the tracing layer attached: phase spans
+    // and select decisions go to `--trace PATH` (JSON Lines) when given,
+    // and the per-phase wall-clock always lands in `results/fig7.json`.
+    let alloc = PreferenceAllocator::full();
+    let mut phases = PhaseTimes::default();
+    let out = match trace_arg() {
+        Some(path) => {
+            let file = std::fs::File::create(&path)
+                .unwrap_or_else(|e| panic!("creating trace {path}: {e}"));
+            let mut sink = JsonLinesSink::new(std::io::BufWriter::new(file));
+            let out = {
+                let mut tee = Tee {
+                    a: &mut sink,
+                    b: &mut phases,
+                };
+                alloc.allocate_traced(&func, &target, &mut tee).unwrap()
+            };
+            use std::io::Write as _;
+            sink.into_inner().flush().unwrap();
+            eprintln!("trace written to {path}");
+            out
+        }
+        None => alloc.allocate_traced(&func, &target, &mut phases).unwrap(),
+    };
     println!("=== Figure 7(g): assignment ===");
     for (v, name) in names {
         println!("  {name} -> {}", out.assignment[v.index()].unwrap());
@@ -152,6 +212,19 @@ fn main() {
         out.stats.paired_loads,
         out.stats.spill_instructions
     );
+
+    let record = WorkloadResult {
+        allocator: alloc.name(),
+        workload: "figure7".to_string(),
+        target: target.name.clone(),
+        stats: out.stats,
+        cycles: 0, // the Figure 7 walkthrough is not executed
+        phases,
+    };
+    match write_results("fig7", &[record]) {
+        Ok(path) => println!("results written to {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
+    }
 }
 
 fn show(s: i64) -> String {

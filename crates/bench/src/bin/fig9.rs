@@ -12,7 +12,7 @@
 //! coalesce preferences only), Park–Moon optimistic coalescing, and
 //! Briggs-style coloring with aggressive coalescing.
 
-use pdgc_bench::{fmt_ratio, print_table, run_workload, WorkloadResult};
+use pdgc_bench::{fmt_ratio, print_table, run_workload_timed, write_results, WorkloadResult};
 use pdgc_core::baselines::{BriggsAllocator, ChaitinAllocator, OptimisticAllocator};
 use pdgc_core::{ClassStats, PreferenceAllocator, RegisterAllocator};
 use pdgc_ir::RegClass;
@@ -26,6 +26,7 @@ fn main() {
         Box::new(BriggsAllocator),
     ];
 
+    let mut all_results: Vec<WorkloadResult> = Vec::new();
     for model in [PressureModel::High, PressureModel::Low] {
         let regs = model.num_regs();
         let target = TargetDesc::ia64_like(model);
@@ -46,17 +47,19 @@ fn main() {
         let workloads: Vec<_> = suite.iter().map(generate).collect();
         let base: Vec<WorkloadResult> = workloads
             .iter()
-            .map(|w| run_workload(&ChaitinAllocator, w, &target))
+            .map(|w| run_workload_timed(&ChaitinAllocator, w, &target))
             .collect();
         let results: Vec<Vec<WorkloadResult>> = algs
             .iter()
             .map(|a| {
                 workloads
                     .iter()
-                    .map(|w| run_workload(a.as_ref(), w, &target))
+                    .map(|w| run_workload_timed(a.as_ref(), w, &target))
                     .collect()
             })
             .collect();
+        all_results.extend(base.iter().cloned());
+        all_results.extend(results.iter().flatten().cloned());
 
         let class_stats = |r: &WorkloadResult, class: RegClass| -> ClassStats {
             *r.stats.class(class)
@@ -102,5 +105,9 @@ fn main() {
             &["workload", "pdgc-coalesce", "optimistic", "briggs+aggr", "base spills"],
             &table,
         );
+    }
+    match write_results("fig9", &all_results) {
+        Ok(path) => println!("results written to {}", path.display()),
+        Err(e) => eprintln!("could not write results: {e}"),
     }
 }

@@ -11,7 +11,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use pdgc_core::{AllocStats, RegisterAllocator};
+use pdgc_core::{AllocStats, ClassStats, RegisterAllocator};
+use pdgc_obs::json::JsonObject;
+use pdgc_obs::PhaseTimes;
 use pdgc_sim::{run_mach, DEFAULT_FUEL};
 use pdgc_target::TargetDesc;
 use pdgc_workloads::{default_args, Workload};
@@ -24,10 +26,16 @@ pub struct WorkloadResult {
     pub allocator: &'static str,
     /// Workload name.
     pub workload: String,
+    /// Target name (e.g. `ia64-24`).
+    pub target: String,
     /// Summed allocation statistics.
     pub stats: AllocStats,
     /// Summed dynamic cycles over all functions (simulated elapsed time).
     pub cycles: u64,
+    /// Allocator wall-clock per pipeline phase, summed over all
+    /// functions. All-zero when collected by [`run_workload`]; use
+    /// [`run_workload_timed`] to fill it.
+    pub phases: PhaseTimes,
 }
 
 /// Allocates and executes every function of `workload`.
@@ -41,12 +49,33 @@ pub fn run_workload(
     workload: &Workload,
     target: &TargetDesc,
 ) -> WorkloadResult {
+    run_workload_inner(alloc, workload, target, None)
+}
+
+/// [`run_workload`], with per-phase allocator wall-clock collected via a
+/// [`PhaseTimes`] tracer attached to every allocation.
+pub fn run_workload_timed(
+    alloc: &dyn RegisterAllocator,
+    workload: &Workload,
+    target: &TargetDesc,
+) -> WorkloadResult {
+    run_workload_inner(alloc, workload, target, Some(PhaseTimes::default()))
+}
+
+fn run_workload_inner(
+    alloc: &dyn RegisterAllocator,
+    workload: &Workload,
+    target: &TargetDesc,
+    mut phases: Option<PhaseTimes>,
+) -> WorkloadResult {
     let mut stats = AllocStats::default();
     let mut cycles = 0u64;
     for func in &workload.funcs {
-        let out = alloc
-            .allocate(func, target)
-            .unwrap_or_else(|e| panic!("{} failed on {}: {e}", alloc.name(), func.name));
+        let out = match phases.as_mut() {
+            Some(pt) => alloc.allocate_traced(func, target, pt),
+            None => alloc.allocate(func, target),
+        }
+        .unwrap_or_else(|e| panic!("{} failed on {}: {e}", alloc.name(), func.name));
         stats.accumulate(&out.stats);
         let exec = run_mach(&out.mach, target, &default_args(func), DEFAULT_FUEL)
             .unwrap_or_else(|e| panic!("{} produced diverging {}: {e}", alloc.name(), func.name));
@@ -55,9 +84,77 @@ pub fn run_workload(
     WorkloadResult {
         allocator: alloc.name(),
         workload: workload.name.clone(),
+        target: target.name.clone(),
         stats,
         cycles,
+        phases: phases.unwrap_or_default(),
     }
+}
+
+fn class_json(c: &ClassStats) -> String {
+    JsonObject::new()
+        .u64("copies_before", c.copies_before as u64)
+        .u64("moves_eliminated", c.moves_eliminated as u64)
+        .u64("copies_remaining", c.copies_remaining as u64)
+        .u64("spill_loads", c.spill_loads as u64)
+        .u64("spill_stores", c.spill_stores as u64)
+        .finish()
+}
+
+fn stats_json(s: &AllocStats) -> String {
+    JsonObject::new()
+        .u64("copies_before", s.copies_before as u64)
+        .u64("moves_eliminated", s.moves_eliminated as u64)
+        .u64("copies_remaining", s.copies_remaining as u64)
+        .u64("spill_loads", s.spill_loads as u64)
+        .u64("spill_stores", s.spill_stores as u64)
+        .u64("spill_instructions", s.spill_instructions as u64)
+        .u64("caller_save_insts", s.caller_save_insts as u64)
+        .u64("nonvolatiles_used", s.nonvolatiles_used as u64)
+        .u64("paired_loads", s.paired_loads as u64)
+        .u64("zero_extensions", s.zero_extensions as u64)
+        .u64("rounds", s.rounds as u64)
+        .u64("frame_slots", u64::from(s.frame_slots))
+        .raw("int", &class_json(&s.int))
+        .raw("float", &class_json(&s.float))
+        .finish()
+}
+
+/// One [`WorkloadResult`] as a JSON object (workload, allocator, target,
+/// statistics, cycles, and per-phase milliseconds).
+pub fn result_json(r: &WorkloadResult) -> String {
+    JsonObject::new()
+        .str("workload", &r.workload)
+        .str("allocator", r.allocator)
+        .str("target", &r.target)
+        .u64("cycles", r.cycles)
+        .raw("stats", &stats_json(&r.stats))
+        .raw("phases_ms", &r.phases.json_millis())
+        .finish()
+}
+
+/// Writes `results/<figure>.json`: a machine-readable record of a bench
+/// run — `{"figure": ..., "results": [...]}`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (directory creation, file write).
+pub fn write_results(
+    figure: &str,
+    results: &[WorkloadResult],
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{figure}.json"));
+    let body = JsonObject::new()
+        .str("figure", figure)
+        .raw(
+            "results",
+            &pdgc_obs::json::array(results.iter().map(result_json)),
+        )
+        .finish();
+    std::fs::write(&path, body + "\n")?;
+    Ok(path)
 }
 
 /// The geometric mean of positive values.

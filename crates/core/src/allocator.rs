@@ -1,11 +1,14 @@
 //! The public allocator API and the paper's allocator (Figure 8).
 
 use crate::cpg::Cpg;
-use crate::pipeline::{run_pipeline, Analyses, ClassCtx, ClassStrategy, RoundOutcome};
+use crate::pipeline::{
+    run_pipeline, run_pipeline_traced, Analyses, ClassCtx, ClassStrategy, RoundOutcome,
+};
 use crate::rpg::build_rpg;
-use crate::select::{select, SelectConfig};
+use crate::select::{select_traced, SelectConfig};
 use crate::simplify::{simplify, SimplifyMode};
 use pdgc_ir::Function;
+use pdgc_obs::{with_span, Event, GraphKind, Phase, Tracer};
 use pdgc_target::TargetDesc;
 
 pub use crate::pipeline::{AllocError, AllocOutput};
@@ -25,6 +28,26 @@ pub trait RegisterAllocator {
     ///
     /// See [`AllocError`].
     fn allocate(&self, func: &Function, target: &TargetDesc) -> Result<AllocOutput, AllocError>;
+
+    /// Allocates `func` with an attached [`Tracer`] receiving phase spans
+    /// and (for tracing-aware allocators) decision events.
+    ///
+    /// The default ignores the tracer and defers to [`Self::allocate`];
+    /// every allocator in this crate overrides it to route through
+    /// [`run_pipeline_traced`]. Tracing never changes the allocation: with
+    /// any tracer the result is bit-identical to the untraced run.
+    ///
+    /// # Errors
+    ///
+    /// See [`AllocError`].
+    fn allocate_traced(
+        &self,
+        func: &Function,
+        target: &TargetDesc,
+        _tracer: &mut dyn Tracer,
+    ) -> Result<AllocOutput, AllocError> {
+        self.allocate(func, target)
+    }
 }
 
 /// The paper's allocator (Figure 8): renumber → build interference graph
@@ -89,14 +112,17 @@ impl ClassStrategy for PreferenceAllocator {
         ctx: &mut ClassCtx<'_>,
         analyses: &Analyses,
         target: &TargetDesc,
+        tracer: &mut dyn Tracer,
     ) -> RoundOutcome {
+        let round = ctx.round as u32;
+        let class = ctx.class;
         let cost = ctx.cost_model(analyses);
         let rpg = build_rpg(ctx.func, &ctx.nodes, &cost, &ctx.copies, self.prefs, target);
         let mut costs = ctx.spill_costs.clone();
         if self.pre_coalesce {
             // Conservative (never spill-causing) merges before simplify.
             use crate::baselines::{briggs_conservative_ok, fold_spill_costs, george_ok};
-            loop {
+            with_span(tracer, Phase::Coalesce, round, Some(class), || loop {
                 let mut merged = false;
                 for c in &ctx.copies {
                     let a = ctx.ifg.rep(c.dst);
@@ -123,7 +149,7 @@ impl ClassStrategy for PreferenceAllocator {
                 if !merged {
                     break;
                 }
-            }
+            });
             fold_spill_costs(&ctx.ifg, &mut costs);
             // A representative absorbing an unspillable temporary becomes
             // unspillable itself.
@@ -134,14 +160,47 @@ impl ClassStrategy for PreferenceAllocator {
                 }
             }
         }
-        let sr = simplify(&mut ctx.ifg, ctx.k, &costs, SimplifyMode::Optimistic);
-        ctx.ifg.restore_all();
-        let cpg = Cpg::build(&ctx.ifg, &sr.stack, &sr.optimistic, ctx.k);
+        let cpg = with_span(tracer, Phase::Simplify, round, Some(class), || {
+            let sr = simplify(&mut ctx.ifg, ctx.k, &costs, SimplifyMode::Optimistic);
+            ctx.ifg.restore_all();
+            Cpg::build(&ctx.ifg, &sr.stack, &sr.optimistic, ctx.k)
+        });
+        if tracer.wants_graphs() {
+            for (kind, dot) in [
+                (GraphKind::Ifg, crate::dot::ifg_to_dot(&ctx.ifg, &ctx.nodes)),
+                (GraphKind::Rpg, crate::dot::rpg_to_dot(&rpg, &ctx.nodes)),
+                (GraphKind::Cpg, crate::dot::cpg_to_dot(&cpg, &ctx.nodes)),
+            ] {
+                tracer.record(&Event::GraphDump { round, class, kind, dot });
+            }
+        }
         let config = SelectConfig {
             active_spill: self.prefs.volatility,
             nonvolatile_first: !self.prefs.volatility,
         };
-        let res = select(&ctx.ifg, &ctx.nodes, &rpg, &cpg, target, &ctx.no_spill, config);
+        // `with_span` can't wrap this call: select itself needs the tracer,
+        // so the span is timed by hand around the traced select.
+        let started = tracer.enabled().then(std::time::Instant::now);
+        let res = select_traced(
+            &ctx.ifg,
+            &ctx.nodes,
+            &rpg,
+            &cpg,
+            target,
+            &ctx.no_spill,
+            &ctx.spill_costs,
+            config,
+            round,
+            tracer,
+        );
+        if let Some(t0) = started {
+            tracer.record(&Event::Span {
+                phase: Phase::Select,
+                round,
+                class: Some(class),
+                nanos: t0.elapsed().as_nanos(),
+            });
+        }
         let mut assignment = res.assignment;
         let mut spilled = res.spilled;
         if self.pre_coalesce {
@@ -176,6 +235,15 @@ impl RegisterAllocator for PreferenceAllocator {
 
     fn allocate(&self, func: &Function, target: &TargetDesc) -> Result<AllocOutput, AllocError> {
         run_pipeline(func, target, self)
+    }
+
+    fn allocate_traced(
+        &self,
+        func: &Function,
+        target: &TargetDesc,
+        tracer: &mut dyn Tracer,
+    ) -> Result<AllocOutput, AllocError> {
+        run_pipeline_traced(func, target, self, tracer)
     }
 }
 

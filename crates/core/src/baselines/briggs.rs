@@ -2,10 +2,13 @@
 //! coloring — Figure 1(b); "Briggs + aggressive" in the paper's §6.
 
 use super::coalesce::{aggressive_coalesce, color_stack, fold_spill_costs, propagate_merged};
-use crate::pipeline::{run_pipeline, Analyses, ClassCtx, ClassStrategy, RoundOutcome};
+use crate::pipeline::{
+    run_pipeline, run_pipeline_traced, Analyses, ClassCtx, ClassStrategy, RoundOutcome,
+};
 use crate::simplify::{simplify, SimplifyMode};
 use crate::{AllocError, AllocOutput, RegisterAllocator};
 use pdgc_ir::Function;
+use pdgc_obs::{with_span, Phase, Tracer};
 use pdgc_target::TargetDesc;
 
 /// Briggs-style optimistic coloring: aggressive coalescing, optimistic
@@ -20,20 +23,30 @@ impl ClassStrategy for BriggsAllocator {
         ctx: &mut ClassCtx<'_>,
         _analyses: &Analyses,
         target: &TargetDesc,
+        tracer: &mut dyn Tracer,
     ) -> RoundOutcome {
-        aggressive_coalesce(&mut ctx.ifg, &ctx.copies);
+        let round = ctx.round as u32;
+        let class = ctx.class;
+        with_span(tracer, Phase::Coalesce, round, Some(class), || {
+            aggressive_coalesce(&mut ctx.ifg, &ctx.copies)
+        });
         let mut costs = ctx.spill_costs.clone();
         fold_spill_costs(&ctx.ifg, &mut costs);
-        let sr = simplify(&mut ctx.ifg, ctx.k, &costs, SimplifyMode::Optimistic);
+        let sr = with_span(tracer, Phase::Simplify, round, Some(class), || {
+            simplify(&mut ctx.ifg, ctx.k, &costs, SimplifyMode::Optimistic)
+        });
         ctx.ifg.restore_all();
-        let (mut assignment, spilled_reps) = color_stack(
-            &ctx.ifg,
-            &ctx.nodes,
-            &sr.stack,
-            target,
-            Some(&ctx.copies), // biased coloring
-            true,
-        );
+        let (mut assignment, spilled_reps) =
+            with_span(tracer, Phase::Select, round, Some(class), || {
+                color_stack(
+                    &ctx.ifg,
+                    &ctx.nodes,
+                    &sr.stack,
+                    target,
+                    Some(&ctx.copies), // biased coloring
+                    true,
+                )
+            });
         propagate_merged(&ctx.ifg, &mut assignment);
         // A spilled representative spills all members.
         let mut spilled = Vec::new();
@@ -57,6 +70,15 @@ impl RegisterAllocator for BriggsAllocator {
 
     fn allocate(&self, func: &Function, target: &TargetDesc) -> Result<AllocOutput, AllocError> {
         run_pipeline(func, target, self)
+    }
+
+    fn allocate_traced(
+        &self,
+        func: &Function,
+        target: &TargetDesc,
+        tracer: &mut dyn Tracer,
+    ) -> Result<AllocOutput, AllocError> {
+        run_pipeline_traced(func, target, self, tracer)
     }
 }
 

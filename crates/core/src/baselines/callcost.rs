@@ -12,9 +12,12 @@
 
 use super::coalesce::{aggressive_coalesce, fold_spill_costs, propagate_merged};
 use crate::node::NodeId;
-use crate::pipeline::{run_pipeline, Analyses, ClassCtx, ClassStrategy, RoundOutcome};
+use crate::pipeline::{
+    run_pipeline, run_pipeline_traced, Analyses, ClassCtx, ClassStrategy, RoundOutcome,
+};
 use crate::{AllocError, AllocOutput, RegisterAllocator};
 use pdgc_ir::Function;
+use pdgc_obs::{with_span, Event, Phase, Tracer};
 use pdgc_target::{PhysReg, TargetDesc};
 use std::collections::HashMap;
 
@@ -28,9 +31,14 @@ impl ClassStrategy for CallCostAllocator {
         ctx: &mut ClassCtx<'_>,
         analyses: &Analyses,
         target: &TargetDesc,
+        tracer: &mut dyn Tracer,
     ) -> RoundOutcome {
+        let round = ctx.round as u32;
+        let class = ctx.class;
         let k = ctx.k;
-        aggressive_coalesce(&mut ctx.ifg, &ctx.copies);
+        with_span(tracer, Phase::Coalesce, round, Some(class), || {
+            aggressive_coalesce(&mut ctx.ifg, &ctx.copies)
+        });
         let mut costs = ctx.spill_costs.clone();
         fold_spill_costs(&ctx.ifg, &mut costs);
 
@@ -83,7 +91,7 @@ impl ClassStrategy for CallCostAllocator {
         let priority = |n: NodeId| benefit_vol[n.index()].max(benefit_nonvol[n.index()]);
         let mut stack: Vec<NodeId> = Vec::new();
         let mut chaitin_spills: Vec<NodeId> = Vec::new();
-        loop {
+        with_span(tracer, Phase::Simplify, round, Some(class), || loop {
             let active = ctx.ifg.active_live_ranges();
             if active.is_empty() {
                 break;
@@ -110,8 +118,9 @@ impl ClassStrategy for CallCostAllocator {
                 .expect("call-cost: only unspillable nodes remain");
             ctx.ifg.remove(cand);
             chaitin_spills.push(cand);
-        }
+        });
 
+        let select_started = tracer.enabled().then(std::time::Instant::now);
         let mut assignment: Vec<Option<PhysReg>> = (0..nn)
             .map(|i| {
                 let n = NodeId::new(i);
@@ -184,6 +193,14 @@ impl ClassStrategy for CallCostAllocator {
                 }
             }
         }
+        if let Some(t0) = select_started {
+            tracer.record(&Event::Span {
+                phase: Phase::Select,
+                round,
+                class: Some(class),
+                nanos: t0.elapsed().as_nanos(),
+            });
+        }
         RoundOutcome { assignment, spilled }
     }
 }
@@ -195,6 +212,15 @@ impl RegisterAllocator for CallCostAllocator {
 
     fn allocate(&self, func: &Function, target: &TargetDesc) -> Result<AllocOutput, AllocError> {
         run_pipeline(func, target, self)
+    }
+
+    fn allocate_traced(
+        &self,
+        func: &Function,
+        target: &TargetDesc,
+        tracer: &mut dyn Tracer,
+    ) -> Result<AllocOutput, AllocError> {
+        run_pipeline_traced(func, target, self, tracer)
     }
 }
 

@@ -2,10 +2,13 @@
 //! paper and the *base* algorithm of the Figure 9 ratios.
 
 use super::coalesce::{aggressive_coalesce, color_stack, fold_spill_costs, propagate_merged};
-use crate::pipeline::{run_pipeline, Analyses, ClassCtx, ClassStrategy, RoundOutcome};
+use crate::pipeline::{
+    run_pipeline, run_pipeline_traced, Analyses, ClassCtx, ClassStrategy, RoundOutcome,
+};
 use crate::simplify::{simplify, SimplifyMode};
 use crate::{AllocError, AllocOutput, RegisterAllocator};
 use pdgc_ir::Function;
+use pdgc_obs::{with_span, Phase, Tracer};
 use pdgc_target::{PhysReg, TargetDesc};
 
 /// Chaitin-style coloring: renumber → build → **aggressive coalesce** →
@@ -20,11 +23,18 @@ impl ClassStrategy for ChaitinAllocator {
         ctx: &mut ClassCtx<'_>,
         _analyses: &Analyses,
         target: &TargetDesc,
+        tracer: &mut dyn Tracer,
     ) -> RoundOutcome {
-        aggressive_coalesce(&mut ctx.ifg, &ctx.copies);
+        let round = ctx.round as u32;
+        let class = ctx.class;
+        with_span(tracer, Phase::Coalesce, round, Some(class), || {
+            aggressive_coalesce(&mut ctx.ifg, &ctx.copies)
+        });
         let mut costs = ctx.spill_costs.clone();
         fold_spill_costs(&ctx.ifg, &mut costs);
-        let sr = simplify(&mut ctx.ifg, ctx.k, &costs, SimplifyMode::Chaitin);
+        let sr = with_span(tracer, Phase::Simplify, round, Some(class), || {
+            simplify(&mut ctx.ifg, ctx.k, &costs, SimplifyMode::Chaitin)
+        });
         if sr.must_spill() {
             // Spill decisions are definite: split now, retry next round.
             let assignment: Vec<Option<PhysReg>> = (0..ctx.nodes.num_nodes())
@@ -46,14 +56,16 @@ impl ClassStrategy for ChaitinAllocator {
             return RoundOutcome { assignment, spilled };
         }
         ctx.ifg.restore_all();
-        let (mut assignment, spilled) = color_stack(
-            &ctx.ifg,
-            &ctx.nodes,
-            &sr.stack,
-            target,
-            None,
-            true, // the §6.2 non-volatile-first heuristic
-        );
+        let (mut assignment, spilled) = with_span(tracer, Phase::Select, round, Some(class), || {
+            color_stack(
+                &ctx.ifg,
+                &ctx.nodes,
+                &sr.stack,
+                target,
+                None,
+                true, // the §6.2 non-volatile-first heuristic
+            )
+        });
         assert!(
             spilled.is_empty(),
             "Chaitin select found no color after clean simplification"
@@ -73,6 +85,15 @@ impl RegisterAllocator for ChaitinAllocator {
 
     fn allocate(&self, func: &Function, target: &TargetDesc) -> Result<AllocOutput, AllocError> {
         run_pipeline(func, target, self)
+    }
+
+    fn allocate_traced(
+        &self,
+        func: &Function,
+        target: &TargetDesc,
+        tracer: &mut dyn Tracer,
+    ) -> Result<AllocOutput, AllocError> {
+        run_pipeline_traced(func, target, self, tracer)
     }
 }
 

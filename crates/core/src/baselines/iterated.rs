@@ -11,9 +11,12 @@ use super::coalesce::{
     briggs_conservative_ok, color_stack, fold_spill_costs, george_ok, propagate_merged,
 };
 use crate::node::NodeId;
-use crate::pipeline::{run_pipeline, Analyses, ClassCtx, ClassStrategy, RoundOutcome};
+use crate::pipeline::{
+    run_pipeline, run_pipeline_traced, Analyses, ClassCtx, ClassStrategy, RoundOutcome,
+};
 use crate::{AllocError, AllocOutput, RegisterAllocator};
 use pdgc_ir::Function;
+use pdgc_obs::{with_span, Phase, Tracer};
 use pdgc_target::TargetDesc;
 
 /// The iterated-coalescing allocator.
@@ -26,7 +29,10 @@ impl ClassStrategy for IteratedAllocator {
         ctx: &mut ClassCtx<'_>,
         _analyses: &Analyses,
         target: &TargetDesc,
+        tracer: &mut dyn Tracer,
     ) -> RoundOutcome {
+        let round = ctx.round as u32;
+        let class = ctx.class;
         let k = ctx.k;
         let mut frozen = vec![false; ctx.nodes.num_nodes()];
         let mut stack: Vec<NodeId> = Vec::new();
@@ -52,7 +58,9 @@ impl ClassStrategy for IteratedAllocator {
                 .collect::<Vec<_>>()
         };
 
-        loop {
+        // Simplify / conservative-coalesce / freeze / potential-spill are
+        // interleaved in one worklist loop, so one Coalesce span covers it.
+        with_span(tracer, Phase::Coalesce, round, Some(class), || loop {
             let active = ctx.ifg.active_live_ranges();
             if active.is_empty() {
                 break;
@@ -116,11 +124,13 @@ impl ClassStrategy for IteratedAllocator {
             ctx.ifg.remove(cand);
             stack.push(cand);
             optimistic.push(cand);
-        }
+        });
 
         ctx.ifg.restore_all();
         let (mut assignment, spilled_reps) =
-            color_stack(&ctx.ifg, &ctx.nodes, &stack, target, Some(&ctx.copies), true);
+            with_span(tracer, Phase::Select, round, Some(class), || {
+                color_stack(&ctx.ifg, &ctx.nodes, &stack, target, Some(&ctx.copies), true)
+            });
         propagate_merged(&ctx.ifg, &mut assignment);
         let mut spilled = Vec::new();
         for &s in &spilled_reps {
@@ -143,6 +153,15 @@ impl RegisterAllocator for IteratedAllocator {
 
     fn allocate(&self, func: &Function, target: &TargetDesc) -> Result<AllocOutput, AllocError> {
         run_pipeline(func, target, self)
+    }
+
+    fn allocate_traced(
+        &self,
+        func: &Function,
+        target: &TargetDesc,
+        tracer: &mut dyn Tracer,
+    ) -> Result<AllocOutput, AllocError> {
+        run_pipeline_traced(func, target, self, tracer)
     }
 }
 

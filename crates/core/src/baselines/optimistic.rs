@@ -9,10 +9,13 @@
 
 use super::coalesce::{aggressive_coalesce, fold_spill_costs};
 use crate::node::NodeId;
-use crate::pipeline::{run_pipeline, Analyses, ClassCtx, ClassStrategy, RoundOutcome};
+use crate::pipeline::{
+    run_pipeline, run_pipeline_traced, Analyses, ClassCtx, ClassStrategy, RoundOutcome,
+};
 use crate::simplify::{simplify, SimplifyMode};
 use crate::{AllocError, AllocOutput, RegisterAllocator};
 use pdgc_ir::Function;
+use pdgc_obs::{with_span, Event, Phase, Tracer};
 use pdgc_target::{PhysReg, TargetDesc};
 
 /// The optimistic-coalescing allocator.
@@ -25,16 +28,24 @@ impl ClassStrategy for OptimisticAllocator {
         ctx: &mut ClassCtx<'_>,
         _analyses: &Analyses,
         target: &TargetDesc,
+        tracer: &mut dyn Tracer,
     ) -> RoundOutcome {
+        let round = ctx.round as u32;
+        let class = ctx.class;
         // Keep the pre-coalescing graph: undoing needs primitive
         // interference.
         let pristine = ctx.ifg.clone();
-        aggressive_coalesce(&mut ctx.ifg, &ctx.copies);
+        with_span(tracer, Phase::Coalesce, round, Some(class), || {
+            aggressive_coalesce(&mut ctx.ifg, &ctx.copies)
+        });
         let mut costs = ctx.spill_costs.clone();
         fold_spill_costs(&ctx.ifg, &mut costs);
-        let sr = simplify(&mut ctx.ifg, ctx.k, &costs, SimplifyMode::Optimistic);
+        let sr = with_span(tracer, Phase::Simplify, round, Some(class), || {
+            simplify(&mut ctx.ifg, ctx.k, &costs, SimplifyMode::Optimistic)
+        });
         ctx.ifg.restore_all();
 
+        let select_started = tracer.enabled().then(std::time::Instant::now);
         let nn = ctx.nodes.num_nodes();
         let mut assignment: Vec<Option<PhysReg>> = (0..nn)
             .map(|i| {
@@ -142,6 +153,14 @@ impl ClassStrategy for OptimisticAllocator {
                 assignment[i] = assignment[ctx.ifg.rep(p).index()];
             }
         }
+        if let Some(t0) = select_started {
+            tracer.record(&Event::Span {
+                phase: Phase::Select,
+                round,
+                class: Some(class),
+                nanos: t0.elapsed().as_nanos(),
+            });
+        }
         RoundOutcome { assignment, spilled }
     }
 }
@@ -153,6 +172,15 @@ impl RegisterAllocator for OptimisticAllocator {
 
     fn allocate(&self, func: &Function, target: &TargetDesc) -> Result<AllocOutput, AllocError> {
         run_pipeline(func, target, self)
+    }
+
+    fn allocate_traced(
+        &self,
+        func: &Function,
+        target: &TargetDesc,
+        tracer: &mut dyn Tracer,
+    ) -> Result<AllocOutput, AllocError> {
+        run_pipeline_traced(func, target, self, tracer)
     }
 }
 

@@ -16,9 +16,12 @@
 
 use super::coalesce::{aggressive_coalesce, fold_spill_costs, propagate_merged};
 use crate::node::NodeId;
-use crate::pipeline::{run_pipeline, Analyses, ClassCtx, ClassStrategy, RoundOutcome};
+use crate::pipeline::{
+    run_pipeline, run_pipeline_traced, Analyses, ClassCtx, ClassStrategy, RoundOutcome,
+};
 use crate::{AllocError, AllocOutput, RegisterAllocator};
 use pdgc_ir::{Function, VReg};
+use pdgc_obs::{with_span, Event, Phase, Tracer};
 use pdgc_target::{PhysReg, TargetDesc};
 
 /// The priority-based allocator.
@@ -31,12 +34,18 @@ impl ClassStrategy for PriorityAllocator {
         ctx: &mut ClassCtx<'_>,
         analyses: &Analyses,
         target: &TargetDesc,
+        tracer: &mut dyn Tracer,
     ) -> RoundOutcome {
+        let round = ctx.round as u32;
+        let class = ctx.class;
         // Copy coalescing as in the other baselines (priority-based
         // allocators in practice ran after copy propagation).
-        aggressive_coalesce(&mut ctx.ifg, &ctx.copies);
+        with_span(tracer, Phase::Coalesce, round, Some(class), || {
+            aggressive_coalesce(&mut ctx.ifg, &ctx.copies)
+        });
         let mut costs = ctx.spill_costs.clone();
         fold_spill_costs(&ctx.ifg, &mut costs);
+        let select_started = tracer.enabled().then(std::time::Instant::now);
 
         // Live-range "area": the number of instruction points each node's
         // members are live across.
@@ -115,6 +124,14 @@ impl ClassStrategy for PriorityAllocator {
                 }
             }
         }
+        if let Some(t0) = select_started {
+            tracer.record(&Event::Span {
+                phase: Phase::Select,
+                round,
+                class: Some(class),
+                nanos: t0.elapsed().as_nanos(),
+            });
+        }
         RoundOutcome { assignment, spilled }
     }
 }
@@ -126,6 +143,15 @@ impl RegisterAllocator for PriorityAllocator {
 
     fn allocate(&self, func: &Function, target: &TargetDesc) -> Result<AllocOutput, AllocError> {
         run_pipeline(func, target, self)
+    }
+
+    fn allocate_traced(
+        &self,
+        func: &Function,
+        target: &TargetDesc,
+        tracer: &mut dyn Tracer,
+    ) -> Result<AllocOutput, AllocError> {
+        run_pipeline_traced(func, target, self, tracer)
     }
 }
 

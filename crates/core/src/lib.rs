@@ -48,6 +48,7 @@ pub mod baselines;
 pub mod build;
 pub mod cost;
 pub mod cpg;
+pub mod dot;
 pub mod ifg;
 pub mod lower;
 pub mod node;

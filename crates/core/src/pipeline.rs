@@ -24,6 +24,7 @@ use crate::spill::insert_spill_code;
 use crate::stats::AllocStats;
 use pdgc_analysis::{CallCrossing, Cfg, DefUse, Dominators, Liveness, Loops};
 use pdgc_ir::{Function, RegClass, VReg};
+use pdgc_obs::{with_span, Event, NoopTracer, Phase, Tracer};
 use pdgc_target::{MachFunction, PhysReg, TargetDesc};
 use std::fmt;
 
@@ -64,6 +65,8 @@ pub fn analyze(func: &Function) -> Analyses {
 
 /// Everything a class strategy gets to work with in one round.
 pub struct ClassCtx<'a> {
+    /// The spill round this context belongs to (1-based), for tracing.
+    pub round: usize,
     /// The class being allocated.
     pub class: RegClass,
     /// The lowered function.
@@ -102,11 +105,16 @@ pub struct RoundOutcome {
 pub trait ClassStrategy {
     /// Produces an assignment (and possibly spill decisions) for the
     /// class universe in `ctx`.
+    ///
+    /// `tracer` receives phase spans and decision events; strategies must
+    /// check [`Tracer::enabled`] before constructing events so the
+    /// [`NoopTracer`] path stays free.
     fn allocate_class(
         &self,
         ctx: &mut ClassCtx<'_>,
         analyses: &Analyses,
         target: &TargetDesc,
+        tracer: &mut dyn Tracer,
     ) -> RoundOutcome;
 }
 
@@ -169,6 +177,18 @@ pub fn class_ctx<'a>(
     analyses: &Analyses,
     no_spill_vregs: &[bool],
 ) -> ClassCtx<'a> {
+    class_ctx_for_round(lowered, target, class, analyses, no_spill_vregs, 1)
+}
+
+/// [`class_ctx`] with an explicit round number recorded for tracing.
+pub fn class_ctx_for_round<'a>(
+    lowered: &'a Lowered,
+    target: &TargetDesc,
+    class: RegClass,
+    analyses: &Analyses,
+    no_spill_vregs: &[bool],
+    round: usize,
+) -> ClassCtx<'a> {
     let nodes = NodeMap::build(&lowered.func, target, class, &lowered.pinned);
     let ifg = build_ifg(&lowered.func, &analyses.liveness, &nodes);
     let copies = collect_copies(&lowered.func, &analyses.loops, &nodes);
@@ -195,6 +215,7 @@ pub fn class_ctx<'a>(
         }
     }
     ClassCtx {
+        round,
         class,
         func: &lowered.func,
         nodes,
@@ -218,19 +239,44 @@ pub fn run_pipeline(
     target: &TargetDesc,
     strategy: &dyn ClassStrategy,
 ) -> Result<AllocOutput, AllocError> {
-    let mut lowered = lower_abi(func, target)?;
+    run_pipeline_traced(func, target, strategy, &mut NoopTracer)
+}
+
+/// [`run_pipeline`] with an attached [`Tracer`].
+///
+/// Every phase is wrapped in a span (lower, analyze, build, then whatever
+/// phases the strategy emits, spill, rewrite); spill-code insertion and
+/// the final statistics are reported as events. With [`NoopTracer`] this
+/// is exactly [`run_pipeline`]: no clock reads, no allocation, no I/O.
+///
+/// # Errors
+///
+/// Same as [`run_pipeline`].
+pub fn run_pipeline_traced(
+    func: &Function,
+    target: &TargetDesc,
+    strategy: &dyn ClassStrategy,
+    tracer: &mut dyn Tracer,
+) -> Result<AllocOutput, AllocError> {
+    let mut lowered = with_span(tracer, Phase::Lower, 0, None, || lower_abi(func, target))?;
     let mut no_spill_vregs = vec![false; lowered.func.num_vregs()];
     let mut slots = 0u32;
     let mut stats = AllocStats::default();
 
     for round in 1..=MAX_ROUNDS {
-        let analyses = analyze(&lowered.func);
+        if tracer.enabled() {
+            tracer.record(&Event::RoundStart { round: round as u32 });
+        }
+        let analyses =
+            with_span(tracer, Phase::Analyze, round as u32, None, || analyze(&lowered.func));
         let mut assignment: Vec<Option<PhysReg>> = vec![None; lowered.func.num_vregs()];
         let mut spilled_vregs: Vec<VReg> = Vec::new();
 
         for class in RegClass::ALL {
-            let mut ctx = class_ctx(&lowered, target, class, &analyses, &no_spill_vregs);
-            let outcome = strategy.allocate_class(&mut ctx, &analyses, target);
+            let mut ctx = with_span(tracer, Phase::Build, round as u32, Some(class), || {
+                class_ctx_for_round(&lowered, target, class, &analyses, &no_spill_vregs, round)
+            });
+            let outcome = strategy.allocate_class(&mut ctx, &analyses, target, tracer);
             for n in ctx.nodes.all_nodes() {
                 if let Some(r) = outcome.assignment[n.index()] {
                     for &v in ctx.nodes.members(n) {
@@ -247,7 +293,16 @@ pub fn run_pipeline(
 
         if spilled_vregs.is_empty() {
             stats.rounds = round;
-            let mach = rewrite(&lowered.func, &assignment, target, slots, &mut stats);
+            let mach = with_span(tracer, Phase::Rewrite, round as u32, None, || {
+                rewrite(&lowered.func, &assignment, target, slots, &mut stats)
+            });
+            if tracer.enabled() {
+                tracer.record(&Event::Finish {
+                    rounds: round as u32,
+                    spill_instructions: stats.spill_instructions as u64,
+                    moves_eliminated: stats.moves_eliminated as u64,
+                });
+            }
             return Ok(AllocOutput {
                 mach,
                 stats,
@@ -256,7 +311,16 @@ pub fn run_pipeline(
             });
         }
 
-        let outcome = insert_spill_code(&mut lowered.func, &spilled_vregs, &mut slots);
+        let outcome = with_span(tracer, Phase::Spill, round as u32, None, || {
+            insert_spill_code(&mut lowered.func, &spilled_vregs, &mut slots)
+        });
+        if tracer.enabled() {
+            tracer.record(&Event::SpillCode {
+                round: round as u32,
+                vregs: spilled_vregs.iter().map(|v| v.index() as u32).collect(),
+                slots,
+            });
+        }
         lowered.sync_pinned_len();
         no_spill_vregs.resize(lowered.func.num_vregs(), false);
         for v in outcome.new_temps {
@@ -282,6 +346,7 @@ mod tests {
             ctx: &mut ClassCtx<'_>,
             _analyses: &Analyses,
             target: &TargetDesc,
+            _tracer: &mut dyn Tracer,
         ) -> RoundOutcome {
             use crate::baselines::aggressive_coalesce;
             use crate::simplify::{simplify, SimplifyMode};

@@ -21,6 +21,7 @@ use crate::cpg::Cpg;
 use crate::ifg::InterferenceGraph;
 use crate::node::{NodeId, NodeMap};
 use crate::rpg::{PrefKind, PrefTarget, Preference, Rpg};
+use pdgc_obs::{Considered, Decision, Event, NoopTracer, SpillReason, Tracer, Verdict};
 use pdgc_target::{PhysReg, TargetDesc};
 
 /// Tunables for the select phase.
@@ -73,6 +74,34 @@ pub fn select(
     no_spill: &[bool],
     config: SelectConfig,
 ) -> SelectResult {
+    select_traced(ifg, nodes, rpg, cpg, target, no_spill, &[], config, 1, &mut NoopTracer)
+}
+
+/// [`select`] with an attached [`Tracer`]: emits one [`Decision`] event
+/// per node resolved — the ready-frontier size, the strength differential,
+/// every preference screened with its strength, and the verdict (register
+/// or spill with its cost).
+///
+/// `spill_costs` (per node, `u64::MAX` = unspillable) only feeds the spill
+/// verdicts in the trace; pass `&[]` when untraced. `round` labels the
+/// events with the pipeline's spill round.
+///
+/// # Panics
+///
+/// Same as [`select`].
+#[allow(clippy::too_many_arguments)]
+pub fn select_traced(
+    ifg: &InterferenceGraph,
+    nodes: &NodeMap,
+    rpg: &Rpg,
+    cpg: &Cpg,
+    target: &TargetDesc,
+    no_spill: &[bool],
+    spill_costs: &[u64],
+    config: SelectConfig,
+    round: u32,
+    tracer: &mut dyn Tracer,
+) -> SelectResult {
     Selector {
         ifg,
         nodes,
@@ -80,7 +109,9 @@ pub fn select(
         cpg,
         target,
         no_spill,
+        spill_costs,
         config,
+        round,
         assignment: (0..nodes.num_nodes())
             .map(|i| {
                 let n = NodeId::new(i);
@@ -90,7 +121,7 @@ pub fn select(
         spilled: vec![false; nodes.num_nodes()],
         processed: vec![false; nodes.num_nodes()],
     }
-    .run()
+    .run(tracer)
 }
 
 struct Selector<'a> {
@@ -100,7 +131,9 @@ struct Selector<'a> {
     cpg: &'a Cpg,
     target: &'a TargetDesc,
     no_spill: &'a [bool],
+    spill_costs: &'a [u64],
     config: SelectConfig,
+    round: u32,
     assignment: Vec<Option<PhysReg>>,
     spilled: Vec<bool>,
     processed: Vec<bool>,
@@ -114,7 +147,7 @@ struct Honorable {
 }
 
 impl Selector<'_> {
-    fn run(mut self) -> SelectResult {
+    fn run(mut self, tracer: &mut dyn Tracer) -> SelectResult {
         let mut pred_remaining: Vec<usize> = (0..self.nodes.num_nodes())
             .map(|i| self.cpg.preds(NodeId::new(i)).len())
             .collect();
@@ -124,7 +157,7 @@ impl Selector<'_> {
 
         while !queue.is_empty() {
             // Step 3: the frontier node with the largest differential.
-            let (qi, _) = queue
+            let (qi, differential) = queue
                 .iter()
                 .enumerate()
                 .map(|(i, &n)| (i, self.differential(n)))
@@ -133,9 +166,10 @@ impl Selector<'_> {
                         .then(queue[*j].index().cmp(&queue[*i].index()))
                 })
                 .expect("non-empty queue");
+            let frontier = queue.len() as u32;
             let n = queue.swap_remove(qi);
 
-            self.allocate(n);
+            self.allocate(n, frontier, differential, tracer);
             self.processed[n.index()] = true;
             done += 1;
 
@@ -251,11 +285,78 @@ impl Selector<'_> {
         best - worst
     }
 
+    /// The trace label for a preference kind.
+    fn kind_str(kind: PrefKind) -> &'static str {
+        match kind {
+            PrefKind::Coalesce => "coalesce",
+            PrefKind::SequentialPlus => "seq+",
+            PrefKind::SequentialMinus => "seq-",
+            PrefKind::Prefers => "prefers",
+        }
+    }
+
+    /// The trace label for a preference target.
+    fn target_str(&self, target: PrefTarget) -> String {
+        match target {
+            PrefTarget::Node(m) if self.nodes.is_precolored(m) => {
+                self.nodes.phys_reg(m).to_string()
+            }
+            PrefTarget::Node(m) => format!("node:{}", m.index()),
+            PrefTarget::Volatile => "volatile".to_string(),
+            PrefTarget::NonVolatile => "non-volatile".to_string(),
+            PrefTarget::Set(mask) => format!("set:{mask:#x}"),
+        }
+    }
+
+    /// The spill cost reported in trace verdicts.
+    fn cost_of(&self, n: NodeId) -> u64 {
+        self.spill_costs.get(n.index()).copied().unwrap_or(0)
+    }
+
+    /// Emits the decision event for `n` (only called when tracing).
+    #[allow(clippy::too_many_arguments)]
+    fn emit_decision(
+        &self,
+        tracer: &mut dyn Tracer,
+        n: NodeId,
+        frontier: u32,
+        differential: i64,
+        available: u32,
+        considered: Vec<Considered>,
+        verdict: Verdict,
+    ) {
+        tracer.record(&Event::Decision(Decision {
+            round: self.round,
+            class: self.nodes.class(),
+            node: n.index() as u32,
+            members: self
+                .nodes
+                .members(n)
+                .iter()
+                .map(|v| v.index() as u32)
+                .collect(),
+            frontier,
+            differential,
+            available,
+            considered,
+            verdict,
+        }));
+    }
+
     /// Steps 4.1–4.4 for the chosen node.
-    fn allocate(&mut self, n: NodeId) {
+    fn allocate(&mut self, n: NodeId, frontier: u32, differential: i64, tracer: &mut dyn Tracer) {
+        let trace = tracer.enabled();
         let avail = self.available(n);
+        let navail = avail.len() as u32;
         if avail.is_empty() {
             self.spill(n);
+            if trace {
+                let verdict = Verdict::Spilled {
+                    reason: SpillReason::NoRegister,
+                    cost: self.cost_of(n),
+                };
+                self.emit_decision(tracer, n, frontier, differential, 0, Vec::new(), verdict);
+            }
             return;
         }
         let honorable = self.honorable_prefs(n, &avail);
@@ -272,6 +373,37 @@ impl Selector<'_> {
             if let Some(s) = strongest {
                 if s < 0 {
                     self.spill(n);
+                    if trace {
+                        let considered = honorable
+                            .iter()
+                            .map(|h| Considered {
+                                kind: Self::kind_str(h.pref.kind),
+                                target: self.target_str(h.pref.target),
+                                strength: h
+                                    .regs
+                                    .iter()
+                                    .map(|&r| h.pref.strength_with(r, self.target))
+                                    .max()
+                                    .unwrap_or(i64::MIN),
+                                deferred: false,
+                                narrowed: false,
+                                survivors: navail,
+                            })
+                            .collect();
+                        let verdict = Verdict::Spilled {
+                            reason: SpillReason::PreferMemory,
+                            cost: self.cost_of(n),
+                        };
+                        self.emit_decision(
+                            tracer,
+                            n,
+                            frontier,
+                            differential,
+                            navail,
+                            considered,
+                            verdict,
+                        );
+                    }
                     return;
                 }
             }
@@ -305,8 +437,27 @@ impl Selector<'_> {
             screens.push((pref.best_strength(), Screen::Defer(pref)));
         }
         screens.sort_by_key(|(s, _)| std::cmp::Reverse(*s));
+        let mut considered: Vec<Considered> = Vec::new();
         let mut cand = avail;
         for (strength, screen) in &screens {
+            let mut entry = if trace {
+                let (kind, target, deferred) = match screen {
+                    Screen::Honor(h) => {
+                        (Self::kind_str(h.pref.kind), self.target_str(h.pref.target), false)
+                    }
+                    Screen::Defer(p) => (Self::kind_str(p.kind), self.target_str(p.target), true),
+                };
+                Some(Considered {
+                    kind,
+                    target,
+                    strength: *strength,
+                    deferred,
+                    narrowed: false,
+                    survivors: cand.len() as u32,
+                })
+            } else {
+                None
+            };
             let narrowed: Vec<PhysReg> = match screen {
                 Screen::Honor(h) => {
                     let regs: Vec<PhysReg> =
@@ -319,11 +470,13 @@ impl Selector<'_> {
                     if gain > 0 {
                         regs
                     } else {
+                        considered.extend(entry);
                         continue;
                     }
                 }
                 Screen::Defer(pref) => {
                     if *strength <= 0 {
+                        considered.extend(entry);
                         continue;
                     }
                     self.partner_feasible(pref, &cand)
@@ -333,7 +486,12 @@ impl Selector<'_> {
             // preference is abandoned rather than hurting this node.
             if !narrowed.is_empty() {
                 cand = narrowed;
+                if let Some(e) = &mut entry {
+                    e.narrowed = true;
+                    e.survivors = cand.len() as u32;
+                }
             }
+            considered.extend(entry);
         }
 
         // Step 4.4: pick.
@@ -346,6 +504,17 @@ impl Selector<'_> {
             cand[0]
         };
         self.assignment[n.index()] = Some(reg);
+        if trace {
+            self.emit_decision(
+                tracer,
+                n,
+                frontier,
+                differential,
+                navail,
+                considered,
+                Verdict::Assigned { reg },
+            );
+        }
     }
 
     /// The preferences of `n` whose partner node is still unallocated

@@ -1,0 +1,160 @@
+//! A minimal JSON writer — just enough for the trace sinks and the bench
+//! harness to emit machine-readable records without an external
+//! serialization crate (the build environment is offline).
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for inclusion inside a JSON string literal (without the
+/// surrounding quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// An incremental `{...}` builder.
+#[derive(Debug)]
+pub struct JsonObject {
+    buf: String,
+    empty: bool,
+}
+
+impl JsonObject {
+    /// Opens an object.
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+            empty: true,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.empty {
+            self.buf.push(',');
+        }
+        self.empty = false;
+        let _ = write!(self.buf, "\"{}\":", escape(k));
+    }
+
+    /// Adds a string field.
+    pub fn str(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "\"{}\"", escape(v));
+        self
+    }
+
+    /// Adds a signed-integer field.
+    pub fn i64(mut self, k: &str, v: i64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds an unsigned-integer field.
+    pub fn u64(mut self, k: &str, v: u64) -> Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Adds a float field (JSON has no NaN/Inf; those become null).
+    pub fn f64(mut self, k: &str, v: f64) -> Self {
+        self.key(k);
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool(mut self, k: &str, v: bool) -> Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a pre-rendered JSON value (object, array, ...) verbatim.
+    pub fn raw(mut self, k: &str, v: &str) -> Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+impl Default for JsonObject {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Renders an array of pre-rendered JSON values.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let mut buf = String::from("[");
+    for (i, it) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&it);
+    }
+    buf.push(']');
+    buf
+}
+
+/// Renders an array of integers.
+pub fn int_array<T: Into<i64> + Copy>(items: &[T]) -> String {
+    array(items.iter().map(|&v| v.into().to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn object_builder() {
+        let s = JsonObject::new()
+            .str("name", "x")
+            .i64("n", -3)
+            .bool("ok", true)
+            .raw("xs", &int_array(&[1i32, 2, 3]))
+            .finish();
+        assert_eq!(s, "{\"name\":\"x\",\"n\":-3,\"ok\":true,\"xs\":[1,2,3]}");
+    }
+
+    #[test]
+    fn empty_object_and_array() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+        assert_eq!(array(Vec::<String>::new()), "[]");
+    }
+
+    #[test]
+    fn non_finite_floats_are_null() {
+        let s = JsonObject::new().f64("x", f64::NAN).f64("y", 1.5).finish();
+        assert_eq!(s, "{\"x\":null,\"y\":1.5}");
+    }
+}

@@ -21,9 +21,9 @@ fn usage() -> &'static str {
     "pdgc — preference-directed graph coloring register allocation (PLDI 2002)
 
 USAGE:
-    pdgc allocate <FILE> [--allocator NAME] [--target NAME]
-    pdgc run <FILE> [--allocator NAME] [--target NAME] [--args N,N,...]
-    pdgc demo
+    pdgc allocate <FILE> [--allocator NAME] [--target NAME] [TRACING]
+    pdgc run <FILE> [--allocator NAME] [--target NAME] [--args N,N,...] [TRACING]
+    pdgc demo [TRACING]
     pdgc --help
 
 ALLOCATORS:
@@ -31,6 +31,12 @@ ALLOCATORS:
 
 TARGETS:
     ia64-16, ia64-24 (default), ia64-32, x86-16, x86-24, x86-32, figure7
+
+TRACING:
+    --trace PATH        write a JSON-Lines allocation trace (phase spans,
+                        per-node select decisions, spill events) to PATH
+    --dump-graphs DIR   write per-round Graphviz dumps of the interference,
+                        preference, and precedence graphs into DIR
 
 FILE FORMAT:
     The textual IR produced by the library's Display impl; see
@@ -75,6 +81,8 @@ struct Options {
     allocator: String,
     target: String,
     args: Vec<u64>,
+    trace: Option<String>,
+    dump_graphs: Option<String>,
 }
 
 fn parse_options(argv: &[String]) -> Result<Options, String> {
@@ -83,6 +91,8 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
         allocator: "full".into(),
         target: "ia64-24".into(),
         args: Vec::new(),
+        trace: None,
+        dump_graphs: None,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -101,15 +111,68 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
                     .map(|s| s.trim().parse().map_err(|_| format!("bad arg `{s}`")))
                     .collect::<Result<_, _>>()?;
             }
-            other if other.starts_with("--") => return Err(format!("unknown flag {other}")),
+            "--trace" => {
+                o.trace = Some(it.next().ok_or("--trace needs a value")?.clone());
+            }
+            "--dump-graphs" => {
+                o.dump_graphs = Some(it.next().ok_or("--dump-graphs needs a value")?.clone());
+            }
             other => {
-                if o.file.replace(other.to_string()).is_some() {
+                // Also accept the --flag=value spelling.
+                if let Some(v) = other.strip_prefix("--trace=") {
+                    o.trace = Some(v.to_string());
+                } else if let Some(v) = other.strip_prefix("--dump-graphs=") {
+                    o.dump_graphs = Some(v.to_string());
+                } else if other.starts_with("--") {
+                    return Err(format!("unknown flag {other}"));
+                } else if o.file.replace(other.to_string()).is_some() {
                     return Err("more than one input file".into());
                 }
             }
         }
     }
     Ok(o)
+}
+
+/// Builds the tracer requested on the command line: a JSONL sink for
+/// `--trace`, a DOT-dump sink for `--dump-graphs`, fanned out when both
+/// are given. `None` when tracing was not requested.
+fn build_tracer(o: &Options) -> Result<Option<FanoutTracer>, String> {
+    if o.trace.is_none() && o.dump_graphs.is_none() {
+        return Ok(None);
+    }
+    let mut fan = FanoutTracer::new();
+    if let Some(path) = &o.trace {
+        let file =
+            std::fs::File::create(path).map_err(|e| format!("creating trace {path}: {e}"))?;
+        fan.push(Box::new(JsonLinesSink::new(std::io::BufWriter::new(file))));
+    }
+    if let Some(dir) = &o.dump_graphs {
+        std::fs::create_dir_all(dir).map_err(|e| format!("creating {dir}: {e}"))?;
+        fan.push(Box::new(DotDirSink::new(dir)));
+    }
+    Ok(Some(fan))
+}
+
+fn allocate_maybe_traced(
+    alloc: &dyn RegisterAllocator,
+    func: &Function,
+    target: &TargetDesc,
+    o: &Options,
+) -> Result<AllocOutput, String> {
+    let out = match build_tracer(o)? {
+        Some(mut tracer) => alloc
+            .allocate_traced(func, target, &mut tracer)
+            .map_err(|e| e.to_string())?,
+        None => alloc.allocate(func, target).map_err(|e| e.to_string())?,
+    };
+    if let Some(path) = &o.trace {
+        eprintln!("trace written to {path}");
+    }
+    if let Some(dir) = &o.dump_graphs {
+        eprintln!("graph dumps written to {dir}/");
+    }
+    Ok(out)
 }
 
 fn load(o: &Options) -> Result<(Function, Box<dyn RegisterAllocator>, TargetDesc), String> {
@@ -125,9 +188,7 @@ fn load(o: &Options) -> Result<(Function, Box<dyn RegisterAllocator>, TargetDesc
 
 fn cmd_allocate(o: &Options) -> Result<(), String> {
     let (func, alloc, target) = load(o)?;
-    let out = alloc
-        .allocate(&func, &target)
-        .map_err(|e| e.to_string())?;
+    let out = allocate_maybe_traced(alloc.as_ref(), &func, &target, o)?;
     println!("{}", out.mach);
     let s = &out.stats;
     println!(
@@ -157,9 +218,7 @@ fn cmd_run(o: &Options) -> Result<(), String> {
             o.args.len()
         ));
     }
-    let out = alloc
-        .allocate(&func, &target)
-        .map_err(|e| e.to_string())?;
+    let out = allocate_maybe_traced(alloc.as_ref(), &func, &target, o)?;
     let reference = run_ir(&func, &o.args, DEFAULT_FUEL).map_err(|e| e.to_string())?;
     let allocated =
         run_mach(&out.mach, &target, &o.args, DEFAULT_FUEL).map_err(|e| e.to_string())?;
@@ -174,7 +233,7 @@ fn cmd_run(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_demo() -> Result<(), String> {
+fn cmd_demo(o: &Options) -> Result<(), String> {
     let text = "\
 fn fig7(v0: int) {
 b0:
@@ -194,9 +253,7 @@ b2:
     println!("input (the paper's Figure 7(a)):\n\n{text}\n");
     let func = pdgc::ir::parse_function(text).map_err(|e| e.to_string())?;
     let target = TargetDesc::figure7();
-    let out = PreferenceAllocator::full()
-        .allocate(&func, &target)
-        .map_err(|e| e.to_string())?;
+    let out = allocate_maybe_traced(&PreferenceAllocator::full(), &func, &target, o)?;
     println!("allocated on the paper's 3-register machine:\n\n{}", out.mach);
     println!(
         "\n{} copies coalesced, {} paired load fused — Figure 7(h) reproduced.",
@@ -210,7 +267,7 @@ fn main() -> ExitCode {
     let result = match argv.first().map(String::as_str) {
         Some("allocate") => parse_options(&argv[1..]).and_then(|o| cmd_allocate(&o)),
         Some("run") => parse_options(&argv[1..]).and_then(|o| cmd_run(&o)),
-        Some("demo") => cmd_demo(),
+        Some("demo") => parse_options(&argv[1..]).and_then(|o| cmd_demo(&o)),
         Some("--help") | Some("-h") | None => {
             println!("{}", usage());
             return ExitCode::SUCCESS;

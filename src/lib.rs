@@ -17,7 +17,9 @@
 //!   allocators from the literature;
 //! * [`sim`] — IR/machine interpreters, differential checking, and the
 //!   cycle model behind the paper's "elapsed time" figures;
-//! * [`workloads`] — seeded SPECjvm98-analog program generation.
+//! * [`workloads`] — seeded SPECjvm98-analog program generation;
+//! * [`obs`] — the allocation tracing layer: phase spans, per-node
+//!   decision events, and JSONL / pretty / DOT sinks.
 //!
 //! ## Quick start
 //!
@@ -55,6 +57,7 @@
 pub use pdgc_analysis as analysis;
 pub use pdgc_core as core;
 pub use pdgc_ir as ir;
+pub use pdgc_obs as obs;
 pub use pdgc_sim as sim;
 pub use pdgc_target as target;
 pub use pdgc_workloads as workloads;
@@ -70,6 +73,10 @@ pub mod prelude {
         RegisterAllocator,
     };
     pub use pdgc_ir::{BinOp, Block, CmpOp, Function, FunctionBuilder, RegClass, VReg};
+    pub use pdgc_obs::{
+        DotDirSink, Event, FanoutTracer, JsonLinesSink, NoopTracer, Phase, PhaseTimes,
+        PrettySink, RecordingTracer, Tracer,
+    };
     pub use pdgc_sim::{check_equivalent, run_ir, run_mach, DEFAULT_FUEL};
     pub use pdgc_target::{MachFunction, PairedLoadRule, PhysReg, PressureModel, TargetDesc};
     pub use pdgc_workloads::{default_args, generate, specjvm_suite, Workload};

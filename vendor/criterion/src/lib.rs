@@ -4,9 +4,15 @@
 //! macros.
 //!
 //! Each benchmark body is timed with `std::time::Instant` over
-//! `sample_size` batches and the best per-iteration time is printed —
-//! enough to eyeball relative costs and to keep `cargo bench` / the
-//! `--all-targets` build green without the real statistics engine.
+//! `sample_size` batches; the report is the **mean ± standard deviation**
+//! of the per-iteration times across batches (with the best batch shown
+//! for reference) — enough to eyeball relative costs *and* their noise,
+//! and to keep `cargo bench` / the `--all-targets` build green without
+//! the real statistics engine.
+//!
+//! Set `CRITERION_JSON=<path>` to additionally append one JSON line per
+//! benchmark (`name`, `mean_ns`, `stddev_ns`, `best_ns`, `samples`) for
+//! machine consumption.
 
 #![forbid(unsafe_code)]
 
@@ -21,12 +27,13 @@ pub fn black_box<T>(x: T) -> T {
 /// Runs one benchmark body repeatedly; handed to the bench closure.
 pub struct Bencher {
     samples: usize,
-    /// Best observed per-iteration time, in nanoseconds.
-    best_ns: f64,
+    /// Per-iteration time of each timed batch, in nanoseconds.
+    sample_ns: Vec<f64>,
 }
 
 impl Bencher {
-    /// Times `f`, keeping the fastest per-iteration result.
+    /// Times `f` over `sample_size` batches, recording each batch's
+    /// per-iteration time.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
         // One warm-up call, then `samples` timed batches whose size
         // grows until a batch takes a measurable amount of time.
@@ -39,9 +46,7 @@ impl Bencher {
             }
             let elapsed = start.elapsed();
             let per_iter = elapsed.as_secs_f64() * 1e9 / batch as f64;
-            if per_iter < self.best_ns {
-                self.best_ns = per_iter;
-            }
+            self.sample_ns.push(per_iter);
             if elapsed.as_micros() < 50 && batch < 1 << 20 {
                 batch *= 2;
             }
@@ -49,17 +54,101 @@ impl Bencher {
     }
 }
 
-fn run_bench(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
-    let mut b = Bencher { samples, best_ns: f64::INFINITY };
-    f(&mut b);
-    let ns = b.best_ns;
-    if ns >= 1e6 {
-        println!("bench {label:<40} {:>10.3} ms/iter", ns / 1e6);
-    } else if ns >= 1e3 {
-        println!("bench {label:<40} {:>10.3} µs/iter", ns / 1e3);
-    } else {
-        println!("bench {label:<40} {ns:>10.1} ns/iter");
+/// Summary statistics over the recorded samples.
+#[derive(Clone, Copy, Debug)]
+struct SampleStats {
+    mean_ns: f64,
+    stddev_ns: f64,
+    best_ns: f64,
+    samples: usize,
+}
+
+fn summarize(sample_ns: &[f64]) -> SampleStats {
+    let n = sample_ns.len();
+    if n == 0 {
+        return SampleStats {
+            mean_ns: f64::NAN,
+            stddev_ns: f64::NAN,
+            best_ns: f64::NAN,
+            samples: 0,
+        };
     }
+    let mean = sample_ns.iter().sum::<f64>() / n as f64;
+    // Sample standard deviation (Bessel's correction); 0 for n = 1.
+    let stddev = if n > 1 {
+        let var = sample_ns.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (n - 1) as f64;
+        var.sqrt()
+    } else {
+        0.0
+    };
+    let best = sample_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    SampleStats {
+        mean_ns: mean,
+        stddev_ns: stddev,
+        best_ns: best,
+        samples: n,
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn emit_json(label: &str, st: &SampleStats) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => ' '.to_string().chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"name\":\"{escaped}\",\"mean_ns\":{:.1},\"stddev_ns\":{:.1},\"best_ns\":{:.1},\"samples\":{}}}\n",
+        st.mean_ns, st.stddev_ns, st.best_ns, st.samples
+    );
+    use std::io::Write as _;
+    let file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path);
+    match file {
+        Ok(mut f) => {
+            if let Err(e) = f.write_all(line.as_bytes()) {
+                eprintln!("criterion: writing {path}: {e}");
+            }
+        }
+        Err(e) => eprintln!("criterion: opening {path}: {e}"),
+    }
+}
+
+fn run_bench(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        sample_ns: Vec::new(),
+    };
+    f(&mut b);
+    let st = summarize(&b.sample_ns);
+    println!(
+        "bench {label:<40} {:>10}/iter ± {} (best {}, {} samples)",
+        fmt_ns(st.mean_ns),
+        fmt_ns(st.stddev_ns),
+        fmt_ns(st.best_ns),
+        st.samples
+    );
+    emit_json(label, &st);
 }
 
 /// The benchmark driver.
@@ -178,5 +267,36 @@ mod tests {
     #[test]
     fn groups_run() {
         benches();
+    }
+
+    #[test]
+    fn summarize_mean_and_stddev() {
+        let st = summarize(&[2.0, 4.0, 6.0]);
+        assert!((st.mean_ns - 4.0).abs() < 1e-9);
+        assert!((st.stddev_ns - 2.0).abs() < 1e-9, "{}", st.stddev_ns);
+        assert!((st.best_ns - 2.0).abs() < 1e-9);
+        assert_eq!(st.samples, 3);
+    }
+
+    #[test]
+    fn summarize_single_sample_has_zero_stddev() {
+        let st = summarize(&[7.5]);
+        assert!((st.mean_ns - 7.5).abs() < 1e-9);
+        assert_eq!(st.stddev_ns, 0.0);
+    }
+
+    #[test]
+    fn summarize_empty_is_nan() {
+        let st = summarize(&[]);
+        assert!(st.mean_ns.is_nan());
+        assert_eq!(st.samples, 0);
+    }
+
+    #[test]
+    fn bencher_records_every_sample() {
+        let mut b = Bencher { samples: 5, sample_ns: Vec::new() };
+        b.iter(|| black_box(1u64) + 1);
+        assert_eq!(b.sample_ns.len(), 5);
+        assert!(b.sample_ns.iter().all(|&s| s >= 0.0));
     }
 }
