@@ -1,0 +1,391 @@
+//! The parallel batch-allocation driver.
+//!
+//! [`run_batch`] allocates every function of a set of workloads across a
+//! hand-rolled [`std::thread::scope`] worker pool: functions form one
+//! global task list, workers claim tasks through an atomic cursor, and
+//! each function is allocated independently (the allocator takes `&self`
+//! and every pipeline run owns its graphs), so results are **bit-identical
+//! at every job count** — per-function outputs are keyed by task index and
+//! merged back in order, and nothing about a function's allocation depends
+//! on which worker ran it or when.
+//!
+//! # Tracer thread-safety contract
+//!
+//! [`Tracer`]s are `&mut`-based single-threaded sinks and are **never
+//! shared across workers**: the driver builds one sink per *function*
+//! (a [`PhaseTimes`] accumulator, plus whatever [`run_batch_traced`]'s
+//! factory returns) on the worker that allocates it, and hands the
+//! collected sinks back to the caller after the pool joins. Aggregation
+//! (e.g. [`PhaseTimes::merge`]) happens on the calling thread only.
+
+use crate::fingerprint_mach;
+use pdgc_core::{AllocStats, RegisterAllocator};
+use pdgc_obs::{Event, PhaseTimes, Tracer};
+use pdgc_target::TargetDesc;
+use pdgc_workloads::Workload;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// The allocation of one function within a batch.
+#[derive(Clone, Debug)]
+pub struct BatchFuncResult {
+    /// Position in the flattened task list (stable across job counts).
+    pub index: usize,
+    /// The workload the function came from.
+    pub workload: String,
+    /// Function name.
+    pub func: String,
+    /// Allocation statistics.
+    pub stats: AllocStats,
+    /// FNV-1a hash of the rewritten machine function's printed form: two
+    /// batch runs produced identical rewrite output iff these match.
+    pub fingerprint: u64,
+    /// Allocator wall-clock per pipeline phase for this function.
+    pub phases: PhaseTimes,
+}
+
+/// The outcome of one batch run.
+#[derive(Debug)]
+pub struct BatchResult {
+    /// Allocator name.
+    pub allocator: &'static str,
+    /// Target name.
+    pub target: String,
+    /// Worker threads used.
+    pub jobs: usize,
+    /// Wall-clock of the whole allocation pool (task claim to join).
+    pub elapsed: Duration,
+    /// Per-function results, in task order.
+    pub funcs: Vec<BatchFuncResult>,
+    /// Statistics summed over all functions.
+    pub stats: AllocStats,
+    /// Phase times summed over all functions (CPU time, so with `jobs > 1`
+    /// this exceeds `elapsed`).
+    pub phases: PhaseTimes,
+}
+
+impl BatchResult {
+    /// Functions allocated per wall-clock second.
+    pub fn funcs_per_sec(&self) -> f64 {
+        self.funcs.len() as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// Whether two runs produced bit-identical allocations: same functions
+    /// in the same order with equal statistics and rewrite fingerprints.
+    pub fn same_allocations(&self, other: &BatchResult) -> bool {
+        self.funcs.len() == other.funcs.len()
+            && self
+                .funcs
+                .iter()
+                .zip(&other.funcs)
+                .all(|(a, b)| a.stats == b.stats && a.fingerprint == b.fingerprint)
+    }
+}
+
+/// Forwards events to both children; the per-function [`PhaseTimes`] and a
+/// caller-supplied sink observe one allocation without sharing anything
+/// across threads.
+struct PairTracer<'a>(&'a mut dyn Tracer, &'a mut dyn Tracer);
+
+impl Tracer for PairTracer<'_> {
+    fn enabled(&self) -> bool {
+        self.0.enabled() || self.1.enabled()
+    }
+    fn wants_graphs(&self) -> bool {
+        self.0.wants_graphs() || self.1.wants_graphs()
+    }
+    fn record(&mut self, event: &Event) {
+        self.0.record(event);
+        self.1.record(event);
+    }
+}
+
+/// Allocates every function of `workloads` with `alloc` across `jobs`
+/// worker threads. `jobs` is clamped to at least 1; `jobs == 1` runs on
+/// the calling thread with no pool.
+///
+/// # Panics
+///
+/// Panics if any allocation fails (the shipped workloads all allocate) or
+/// a worker thread panics.
+pub fn run_batch(
+    alloc: &(dyn RegisterAllocator + Sync),
+    workloads: &[Workload],
+    target: &TargetDesc,
+    jobs: usize,
+) -> BatchResult {
+    run_batch_traced(alloc, workloads, target, jobs, |_| pdgc_obs::NoopTracer).0
+}
+
+/// [`run_batch`] with a caller-supplied per-function trace sink: `make(i)`
+/// builds the sink for task `i` (on the worker thread that claims it), and
+/// the sinks are returned in task order after the pool joins. Use this to
+/// attach a `RecordingTracer` or `JsonLinesSink` per function without any
+/// cross-thread sharing.
+///
+/// # Panics
+///
+/// Same as [`run_batch`].
+pub fn run_batch_traced<T, F>(
+    alloc: &(dyn RegisterAllocator + Sync),
+    workloads: &[Workload],
+    target: &TargetDesc,
+    jobs: usize,
+    make: F,
+) -> (BatchResult, Vec<T>)
+where
+    T: Tracer + Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1);
+    let tasks: Vec<(usize, &Workload, &pdgc_ir::Function)> = workloads
+        .iter()
+        .flat_map(|w| w.funcs.iter().map(move |f| (w, f)))
+        .enumerate()
+        .map(|(i, (w, f))| (i, w, f))
+        .collect();
+
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(BatchFuncResult, T)>> = Mutex::new(Vec::with_capacity(tasks.len()));
+
+    let run_one = |i: usize, workload: &Workload, func: &pdgc_ir::Function| {
+        let mut phases = PhaseTimes::default();
+        let mut sink = make(i);
+        let out = {
+            let mut pair = PairTracer(&mut phases, &mut sink);
+            alloc
+                .allocate_traced(func, target, &mut pair)
+                .unwrap_or_else(|e| panic!("{} failed on {}: {e}", alloc.name(), func.name))
+        };
+        (
+            BatchFuncResult {
+                index: i,
+                workload: workload.name.clone(),
+                func: func.name.clone(),
+                stats: out.stats,
+                fingerprint: fingerprint_mach(&out.mach),
+                phases,
+            },
+            sink,
+        )
+    };
+
+    let start = Instant::now();
+    if jobs == 1 {
+        let mut local = collected.lock().expect("unpoisoned");
+        for &(i, w, f) in &tasks {
+            local.push(run_one(i, w, f));
+        }
+    } else {
+        std::thread::scope(|scope| {
+            for _ in 0..jobs {
+                scope.spawn(|| {
+                    let mut local: Vec<(BatchFuncResult, T)> = Vec::new();
+                    loop {
+                        let t = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(i, w, f)) = tasks.get(t) else { break };
+                        local.push(run_one(i, w, f));
+                    }
+                    collected.lock().expect("unpoisoned").extend(local);
+                });
+            }
+        });
+    }
+    let elapsed = start.elapsed();
+
+    let mut pairs = collected.into_inner().expect("unpoisoned");
+    pairs.sort_by_key(|(r, _)| r.index);
+    let mut stats = AllocStats::default();
+    let mut phases = PhaseTimes::default();
+    let mut funcs = Vec::with_capacity(pairs.len());
+    let mut sinks = Vec::with_capacity(pairs.len());
+    for (r, s) in pairs {
+        stats.accumulate(&r.stats);
+        phases.merge(&r.phases);
+        funcs.push(r);
+        sinks.push(s);
+    }
+    (
+        BatchResult {
+            allocator: alloc.name(),
+            target: target.name.clone(),
+            jobs,
+            elapsed,
+            funcs,
+            stats,
+            phases,
+        },
+        sinks,
+    )
+}
+
+/// A serial run and a parallel run of the same batch, for throughput
+/// reporting and determinism gating.
+#[derive(Debug)]
+pub struct BatchComparison {
+    /// The `jobs == 1` run.
+    pub serial: BatchResult,
+    /// The `jobs == N` run.
+    pub parallel: BatchResult,
+    /// Wall-clock repeats each run is the best of.
+    pub repeat: usize,
+}
+
+impl BatchComparison {
+    /// Whether the parallel run reproduced the serial allocations exactly.
+    pub fn identical(&self) -> bool {
+        self.serial.same_allocations(&self.parallel)
+    }
+
+    /// Parallel throughput over serial throughput.
+    pub fn speedup(&self) -> f64 {
+        self.parallel.funcs_per_sec() / self.serial.funcs_per_sec().max(1e-9)
+    }
+
+    fn run_json(&self, r: &BatchResult) -> String {
+        pdgc_obs::json::JsonObject::new()
+            .u64("jobs", r.jobs as u64)
+            .u64("functions", r.funcs.len() as u64)
+            .f64("elapsed_ms", r.elapsed.as_secs_f64() * 1e3)
+            .f64("functions_per_sec", r.funcs_per_sec())
+            .f64(
+                "speedup_vs_1_thread",
+                r.funcs_per_sec() / self.serial.funcs_per_sec().max(1e-9),
+            )
+            .raw("phases_ms", &r.phases.json_millis())
+            .finish()
+    }
+
+    /// The comparison as the `results/bench_batch.json` object.
+    pub fn json(&self) -> String {
+        pdgc_obs::json::JsonObject::new()
+            .str("figure", "bench_batch")
+            .str("allocator", self.serial.allocator)
+            .str("target", &self.serial.target)
+            .u64("functions", self.serial.funcs.len() as u64)
+            .u64("repeat", self.repeat as u64)
+            .bool("identical", self.identical())
+            .f64("speedup", self.speedup())
+            .raw("serial", &self.run_json(&self.serial))
+            .raw("parallel", &self.run_json(&self.parallel))
+            .finish()
+    }
+
+    /// Writes [`Self::json`] to `results/bench_batch.json`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_json(&self) -> std::io::Result<std::path::PathBuf> {
+        let dir = std::path::Path::new("results");
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join("bench_batch.json");
+        std::fs::write(&path, self.json() + "\n")?;
+        Ok(path)
+    }
+}
+
+/// Runs the batch at `jobs == 1` and at `jobs`, `repeat` times each
+/// (keeping the best wall clock per job count), and pairs the results.
+///
+/// # Panics
+///
+/// Panics if any allocation fails, or if repeats of the *same* job count
+/// disagree — that would mean allocation is not a pure function of its
+/// input, which the whole driver depends on.
+pub fn compare_jobs(
+    alloc: &(dyn RegisterAllocator + Sync),
+    workloads: &[Workload],
+    target: &TargetDesc,
+    jobs: usize,
+    repeat: usize,
+) -> BatchComparison {
+    let repeat = repeat.max(1);
+    let mut serial: Option<BatchResult> = None;
+    let mut parallel: Option<BatchResult> = None;
+    for _ in 0..repeat {
+        for (slot, j) in [(&mut serial, 1), (&mut parallel, jobs)] {
+            let r = run_batch(alloc, workloads, target, j);
+            match slot {
+                Some(prev) => {
+                    assert!(
+                        prev.same_allocations(&r),
+                        "allocations diverged between repeats at jobs={j}"
+                    );
+                    if r.elapsed < prev.elapsed {
+                        *slot = Some(r);
+                    }
+                }
+                None => *slot = Some(r),
+            }
+        }
+    }
+    BatchComparison {
+        serial: serial.expect("repeat >= 1"),
+        parallel: parallel.expect("repeat >= 1"),
+        repeat,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pdgc_core::PreferenceAllocator;
+    use pdgc_obs::RecordingTracer;
+    use pdgc_target::PressureModel;
+
+    fn small_workloads() -> Vec<Workload> {
+        let profiles = pdgc_workloads::specjvm_suite();
+        let mut w = pdgc_workloads::generate(&profiles[6]); // jack: smallest
+        w.funcs.truncate(4);
+        vec![w]
+    }
+
+    #[test]
+    fn batch_matches_across_job_counts() {
+        let target = TargetDesc::ia64_like(PressureModel::Middle);
+        let alloc = PreferenceAllocator::full();
+        let workloads = small_workloads();
+        let serial = run_batch(&alloc, &workloads, &target, 1);
+        let parallel = run_batch(&alloc, &workloads, &target, 3);
+        assert_eq!(serial.funcs.len(), 4);
+        assert!(serial.same_allocations(&parallel));
+        assert_eq!(serial.stats, parallel.stats);
+        assert_eq!(parallel.jobs, 3);
+        assert!(serial.funcs_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn per_function_sinks_observe_their_own_allocation() {
+        let target = TargetDesc::ia64_like(PressureModel::Middle);
+        let alloc = PreferenceAllocator::full();
+        let workloads = small_workloads();
+        let (result, sinks) = run_batch_traced(&alloc, &workloads, &target, 2, |_| {
+            let mut t = RecordingTracer::default();
+            t.set_enabled(true);
+            t
+        });
+        assert_eq!(sinks.len(), result.funcs.len());
+        for sink in &sinks {
+            // Every function's own sink saw its pipeline finish.
+            assert!(sink
+                .events()
+                .iter()
+                .any(|e| matches!(e, Event::Finish { .. })));
+        }
+        // Phase times were accumulated alongside the user sinks.
+        assert!(result.phases.total_nanos() > 0);
+    }
+
+    #[test]
+    fn task_order_is_stable_and_indexed() {
+        let target = TargetDesc::ia64_like(PressureModel::Middle);
+        let alloc = PreferenceAllocator::full();
+        let workloads = small_workloads();
+        let r = run_batch(&alloc, &workloads, &target, 2);
+        for (i, f) in r.funcs.iter().enumerate() {
+            assert_eq!(f.index, i);
+        }
+    }
+}

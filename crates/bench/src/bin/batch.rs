@@ -1,0 +1,80 @@
+//! The batch-allocation throughput bench: allocates the whole SPECjvm98
+//! analog suite through the parallel batch driver, at `--jobs 1` and at
+//! the requested job count, and writes `results/bench_batch.json` with
+//! functions/sec, per-phase milliseconds, thread count, and the speedup
+//! over the serial run.
+//!
+//! The serial and parallel runs must produce bit-identical allocations
+//! (same per-function statistics and rewrite fingerprints); the process
+//! exits non-zero if they diverge, so CI can gate on determinism.
+//!
+//! ```text
+//! cargo run --release -p pdgc-bench --bin batch -- --jobs 4 [--repeat 3]
+//! ```
+
+use pdgc_bench::batch::compare_jobs;
+use pdgc_bench::print_table;
+use pdgc_core::PreferenceAllocator;
+use pdgc_target::{PressureModel, TargetDesc};
+use pdgc_workloads::{generate, specjvm_suite, Workload};
+
+fn parse_flag(args: &[String], name: &str) -> Option<usize> {
+    let eq = format!("{name}=");
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == name {
+            return it.next().and_then(|v| v.parse().ok());
+        }
+        if let Some(v) = a.strip_prefix(&eq) {
+            return v.parse().ok();
+        }
+    }
+    None
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs = parse_flag(&args, "--jobs")
+        .or_else(|| std::thread::available_parallelism().ok().map(usize::from))
+        .unwrap_or(1);
+    let repeat = parse_flag(&args, "--repeat").unwrap_or(1).max(1);
+
+    let workloads: Vec<Workload> = specjvm_suite().iter().map(generate).collect();
+    let total_funcs: usize = workloads.iter().map(|w| w.funcs.len()).sum();
+    let target = TargetDesc::ia64_like(PressureModel::Middle);
+    let alloc = PreferenceAllocator::full();
+    println!(
+        "batch bench: {total_funcs} functions x {repeat} repeat(s), target {}, jobs 1 vs {jobs}",
+        target.name
+    );
+
+    let cmp = compare_jobs(&alloc, &workloads, &target, jobs, repeat);
+
+    let rows = [&cmp.serial, &cmp.parallel]
+        .iter()
+        .map(|r| {
+            vec![
+                format!("jobs={}", r.jobs),
+                format!("{:.1}", r.elapsed.as_secs_f64() * 1e3),
+                format!("{:.1}", r.funcs_per_sec()),
+                format!(
+                    "{:.2}x",
+                    r.funcs_per_sec() / cmp.serial.funcs_per_sec().max(1e-9)
+                ),
+            ]
+        })
+        .collect::<Vec<_>>();
+    print_table(&["run", "elapsed-ms", "funcs/sec", "speedup"], &rows);
+    println!(
+        "allocations identical across job counts: {}",
+        if cmp.identical() { "yes" } else { "NO — DIVERGENCE" }
+    );
+
+    let path = cmp.write_json().expect("write bench_batch.json");
+    println!("wrote {}", path.display());
+
+    if !cmp.identical() {
+        eprintln!("error: parallel allocation diverged from serial");
+        std::process::exit(1);
+    }
+}

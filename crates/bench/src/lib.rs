@@ -11,6 +11,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
+
 use pdgc_core::{AllocStats, ClassStats, RegisterAllocator};
 use pdgc_obs::json::JsonObject;
 use pdgc_obs::PhaseTimes;
@@ -155,6 +157,18 @@ pub fn write_results(
         .finish();
     std::fs::write(&path, body + "\n")?;
     Ok(path)
+}
+
+/// FNV-1a hash of a machine function's printed form — a compact
+/// fingerprint of the complete post-rewrite output, used by the batch
+/// driver to certify that two runs produced identical code.
+pub fn fingerprint_mach(mach: &pdgc_target::MachFunction) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in mach.to_string().bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// The geometric mean of positive values.

@@ -133,7 +133,7 @@ impl ClassStrategy for CallCostAllocator {
             ctx.ifg.restore_all();
             for &n in stack.iter().rev() {
                 let mut used = vec![false; k];
-                for x in ctx.ifg.neighbors(n) {
+                for &x in ctx.ifg.neighbors_slice(n) {
                     if let Some(r) = assignment[x.index()] {
                         used[r.index()] = true;
                     }

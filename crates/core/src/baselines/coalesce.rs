@@ -39,7 +39,7 @@ pub fn aggressive_coalesce(ifg: &mut InterferenceGraph, copies: &[CopyRel]) -> u
 pub fn briggs_conservative_ok(ifg: &InterferenceGraph, a: NodeId, b: NodeId, k: usize) -> bool {
     let (a, b) = (ifg.rep(a), ifg.rep(b));
     let mut combined = ifg.neighbors(a);
-    for x in ifg.neighbors(b) {
+    for &x in ifg.neighbors_slice(b) {
         if !combined.contains(&x) {
             combined.push(x);
         }
@@ -64,9 +64,9 @@ pub fn briggs_conservative_ok(ifg: &InterferenceGraph, a: NodeId, b: NodeId, k: 
 /// or has insignificant degree.
 pub fn george_ok(ifg: &InterferenceGraph, a: NodeId, b: NodeId, k: usize) -> bool {
     let (a, b) = (ifg.rep(a), ifg.rep(b));
-    ifg.neighbors(b)
-        .into_iter()
-        .all(|t| t == a || ifg.interferes(t, a) || ifg.degree(t) < k)
+    ifg.neighbors_slice(b)
+        .iter()
+        .all(|&t| t == a || ifg.interferes(t, a) || ifg.degree(t) < k)
 }
 
 /// Folds the spill costs of merged nodes into their representatives
@@ -109,7 +109,7 @@ pub fn color_stack(
     let mut spilled = Vec::new();
     for &n in stack.iter().rev() {
         let mut used = vec![false; target.num_regs(nodes.class())];
-        for x in ifg.neighbors(n) {
+        for &x in ifg.neighbors_slice(n) {
             if let Some(r) = assignment[x.index()] {
                 used[r.index()] = true;
             }

@@ -59,7 +59,7 @@ impl ClassStrategy for OptimisticAllocator {
         for &n in sr.stack.iter().rev() {
             // Forbidden: colors of the merged node's neighbors.
             let mut used = vec![false; ctx.k];
-            for x in ctx.ifg.neighbors(n) {
+            for &x in ctx.ifg.neighbors_slice(n) {
                 if let Some(r) = assignment[x.index()] {
                     used[r.index()] = true;
                 }
@@ -99,7 +99,7 @@ impl ClassStrategy for OptimisticAllocator {
                                  group_colors: &mut Vec<PhysReg>|
              -> bool {
                 let mut used = vec![false; ctx.k];
-                for x in pristine.neighbors(p) {
+                for &x in pristine.neighbors_slice(p) {
                     // A neighbor's color: its own if split, else its
                     // representative's.
                     let c = assignment[x.index()]

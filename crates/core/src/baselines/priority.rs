@@ -92,7 +92,7 @@ impl ClassStrategy for PriorityAllocator {
         let mut spilled_reps = Vec::new();
         for &n in &order {
             let mut used = vec![false; ctx.k];
-            for x in ctx.ifg.neighbors(n) {
+            for &x in ctx.ifg.neighbors_slice(n) {
                 if let Some(r) = assignment[x.index()] {
                     used[r.index()] = true;
                 }

@@ -66,8 +66,9 @@ impl Cpg {
         // Working interference graph: live-range nodes of the stack.
         let mut removed = vec![false; n];
         let lr_neighbors = |x: NodeId, removed: &[bool]| -> Vec<NodeId> {
-            ifg.neighbors(x)
-                .into_iter()
+            ifg.neighbors_slice(x)
+                .iter()
+                .copied()
                 .filter(|&y| is_lr(y) && !removed[y.index()])
                 .collect()
         };

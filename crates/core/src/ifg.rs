@@ -8,6 +8,28 @@
 //! * **coalescing** — merging one node into another (aggressive and
 //!   conservative coalescers in [`crate::baselines`] use this);
 //! * **removal marks** with live degree tracking, driving simplification.
+//!
+//! # Adjacency representation
+//!
+//! The per-node adjacency lists are kept **canonical** at all times: for an
+//! unmerged node `n`, `adj[n]` holds exactly the distinct current
+//! representatives adjacent to `n` — no duplicates, no stale merged
+//! entries. [`add_edge`](Self::add_edge) inserts canonically and
+//! [`merge`](Self::merge) rewrites the neighbors' lists in place, so
+//! [`neighbors_slice`](Self::neighbors_slice) and
+//! [`live_neighbors_iter`](Self::live_neighbors_iter) are allocation-free:
+//! the select and simplify hot paths iterate adjacency directly instead of
+//! materializing a fresh `Vec` + seen-set per call.
+//!
+//! # Degree accounting
+//!
+//! `degree[n]` of a **live** (unmerged, unremoved) node is the number of
+//! its live neighbors. The degree of a **removed** node is *frozen* at its
+//! removal-time value: no mutation may touch it until
+//! [`restore_all`](Self::restore_all) recomputes every degree from the
+//! adjacency lists. This freeze is what a future partial-restore needs to
+//! stay correct, and it is enforced by the degree-accounting property test
+//! in `tests/properties.rs`.
 
 use crate::node::NodeId;
 use pdgc_analysis::BitSet;
@@ -90,10 +112,11 @@ impl InterferenceGraph {
         self.matrix[b.index()].insert(a.index());
         self.adj[a.index()].push(b);
         self.adj[b.index()].push(a);
-        if !self.removed[b.index()] {
+        // Degrees are maintained for live nodes only; a removed endpoint
+        // neither counts toward the other's degree nor has its own frozen
+        // degree touched.
+        if !self.removed[a.index()] && !self.removed[b.index()] {
             self.degree[a.index()] += 1;
-        }
-        if !self.removed[a.index()] {
             self.degree[b.index()] += 1;
         }
         true
@@ -106,62 +129,96 @@ impl InterferenceGraph {
     }
 
     /// The current degree of `n` — the number of distinct, non-removed
-    /// neighbors. Meaningless for merged or removed nodes.
+    /// neighbors. For a removed node this is frozen at its removal-time
+    /// value; meaningless for merged nodes.
     pub fn degree(&self, n: NodeId) -> usize {
         self.degree[self.rep(n).index()]
     }
 
+    /// The distinct current neighbors of `n`'s representative as a slice
+    /// (merged entries already resolved, removed nodes *included*).
+    /// Allocation-free; the canonical adjacency invariant guarantees the
+    /// slice has no duplicates and no merged entries.
+    pub fn neighbors_slice(&self, n: NodeId) -> &[NodeId] {
+        &self.adj[self.rep(n).index()]
+    }
+
+    /// Iterates the non-removed neighbors of `n`'s representative without
+    /// allocating.
+    pub fn live_neighbors_iter(&self, n: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.neighbors_slice(n)
+            .iter()
+            .copied()
+            .filter(|&x| !self.removed[x.index()])
+    }
+
     /// The distinct current neighbors of `n`'s representative (merged
-    /// entries resolved, removed nodes *included*).
+    /// entries resolved, removed nodes *included*). Prefer
+    /// [`neighbors_slice`](Self::neighbors_slice) on hot paths — this
+    /// allocates a fresh `Vec` for callers that need ownership.
     pub fn neighbors(&self, n: NodeId) -> Vec<NodeId> {
-        let n = self.rep(n);
-        let mut seen = BitSet::new(self.num_nodes());
-        let mut out = Vec::with_capacity(self.adj[n.index()].len());
-        for &x in &self.adj[n.index()] {
-            let x = self.rep(x);
-            if x != n && seen.insert(x.index()) {
-                out.push(x);
-            }
-        }
-        out
+        self.neighbors_slice(n).to_vec()
     }
 
     /// Like [`neighbors`](Self::neighbors), skipping removed nodes.
+    /// Prefer [`live_neighbors_iter`](Self::live_neighbors_iter) on hot
+    /// paths.
     pub fn live_neighbors(&self, n: NodeId) -> Vec<NodeId> {
-        self.neighbors(n)
-            .into_iter()
-            .filter(|&x| !self.removed[x.index()])
-            .collect()
+        self.live_neighbors_iter(n).collect()
     }
 
     /// Merges node `b` into node `a` (coalescing). The merged node's
     /// interferences become the union of both. `b`'s queries afterwards
     /// resolve through [`rep`](Self::rep).
     ///
+    /// Degree accounting: a neighbor `x` shared by `a` and `b` loses one
+    /// distinct neighbor (the `a`/`b` pair collapses), a neighbor of `b`
+    /// alone swaps `b` for `a` (count unchanged) — and in both cases the
+    /// degree of a *removed* `x` is left frozen.
+    ///
     /// # Panics
     ///
-    /// Panics if the nodes interfere, are equal, or `b` is precolored.
+    /// Panics if the nodes interfere, are equal, either is removed, or `b`
+    /// is precolored.
     pub fn merge(&mut self, a: NodeId, b: NodeId) {
         let (a, b) = (self.rep(a), self.rep(b));
         assert_ne!(a, b, "merging a node with itself");
         assert!(!self.interferes(a, b), "merging interfering nodes");
         assert!(!self.is_precolored(b), "merging a precolored node away");
         assert!(!self.removed[a.index()] && !self.removed[b.index()]);
-        let b_neighbors = self.neighbors(b);
-        for &x in &b_neighbors {
-            self.add_edge(a, x);
-        }
-        // The edge to `b` no longer counts toward its neighbors' degrees.
-        for &x in &b_neighbors {
-            if !self.removed[b.index()] {
-                self.degree[x.index()] -= 1;
+        let b_adj = std::mem::take(&mut self.adj[b.index()]);
+        for &x in &b_adj {
+            let pos = self.adj[x.index()]
+                .iter()
+                .position(|&y| y == b)
+                .expect("canonical adjacency is symmetric");
+            if self.matrix[a.index()].contains(x.index()) {
+                // `x` was adjacent to both: drop the `b` entry; `x` has one
+                // fewer distinct neighbor (if `x` is live — a removed
+                // node's degree stays frozen).
+                self.adj[x.index()].remove(pos);
+                if !self.removed[x.index()] {
+                    self.degree[x.index()] -= 1;
+                }
+            } else {
+                // `x` was adjacent to `b` alone: splice `a` into `b`'s
+                // slot. `x`'s distinct-neighbor count is unchanged; `a`
+                // gains a neighbor (counted only if `x` is live).
+                self.adj[x.index()][pos] = a;
+                self.matrix[a.index()].insert(x.index());
+                self.matrix[x.index()].insert(a.index());
+                self.adj[a.index()].push(x);
+                if !self.removed[x.index()] {
+                    self.degree[a.index()] += 1;
+                }
             }
         }
         self.merged[b.index()] = true;
         self.alias[b.index()] = a;
     }
 
-    /// Marks `n` as removed (simplified), decrementing neighbor degrees.
+    /// Marks `n` as removed (simplified), decrementing live neighbors'
+    /// degrees. `n`'s own degree is frozen at its current value.
     ///
     /// # Panics
     ///
@@ -171,7 +228,8 @@ impl InterferenceGraph {
         assert!(!self.is_precolored(n), "removing precolored {n}");
         assert!(!self.removed[n.index()], "removing {n} twice");
         self.removed[n.index()] = true;
-        for x in self.neighbors(n) {
+        for j in 0..self.adj[n.index()].len() {
+            let x = self.adj[n.index()][j];
             if !self.removed[x.index()] {
                 self.degree[x.index()] -= 1;
             }
@@ -182,12 +240,19 @@ impl InterferenceGraph {
     /// simplify and select phases, which work on the full graph).
     pub fn restore_all(&mut self) {
         self.removed.iter_mut().for_each(|r| *r = false);
+        // The recompute below counts *every* adjacency entry, which is
+        // only the live-neighbor count because the clearing loop above ran
+        // first. A partial-restore refactor that leaves any node marked
+        // removed here would silently corrupt every degree.
+        debug_assert!(
+            self.removed.iter().all(|r| !*r),
+            "restore_all: recomputing degrees while nodes are still removed"
+        );
         for i in 0..self.num_nodes() {
-            let n = NodeId::new(i);
             if self.merged[i] {
                 continue;
             }
-            self.degree[i] = self.neighbors(n).len();
+            self.degree[i] = self.adj[i].len();
         }
     }
 
@@ -225,6 +290,7 @@ mod tests {
         assert!(g.interferes(n(0), n(1)));
         assert_eq!(g.degree(n(0)), 1);
         assert_eq!(g.neighbors(n(0)), vec![n(1)]);
+        assert_eq!(g.neighbors_slice(n(0)), &[n(1)]);
     }
 
     #[test]
@@ -238,6 +304,7 @@ mod tests {
         assert!(g.is_removed(n(1)));
         assert_eq!(g.live_neighbors(n(0)), vec![n(2)]);
         assert_eq!(g.neighbors(n(0)).len(), 2);
+        assert_eq!(g.live_neighbors_iter(n(0)).count(), 1);
         g.restore_all();
         assert!(!g.is_removed(n(1)));
         assert_eq!(g.degree(n(0)), 2);
@@ -263,6 +330,42 @@ mod tests {
         assert_eq!(g.degree(n(4)), 1);
         assert_eq!(g.degree(n(2)), 1);
         assert_eq!(g.active_live_ranges(), vec![n(0), n(2), n(3), n(4)]);
+        // Canonical adjacency: 4's list resolved 1 → 0 in place, no dups.
+        assert_eq!(g.neighbors_slice(n(4)), &[n(0)]);
+    }
+
+    #[test]
+    fn merge_leaves_removed_neighbor_degree_frozen() {
+        // 2 is adjacent to both 0 and 1; 3 is adjacent to 1 alone. Remove
+        // both, then merge 1 into 0: the frozen degrees must not move.
+        let mut g = InterferenceGraph::new(4, 0);
+        g.add_edge(n(0), n(2));
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(1), n(3));
+        g.remove(n(2));
+        g.remove(n(3));
+        let (d2, d3) = (g.degree(n(2)), g.degree(n(3)));
+        g.merge(n(0), n(1));
+        assert_eq!(g.degree(n(2)), d2, "shared removed neighbor mutated");
+        assert_eq!(g.degree(n(3)), d3, "spliced removed neighbor mutated");
+        // Live accounting still holds for the representative: its only
+        // live neighbor count excludes the removed 2 and 3.
+        assert_eq!(g.degree(n(0)), g.live_neighbors(n(0)).len());
+    }
+
+    #[test]
+    fn add_edge_to_removed_node_freezes_its_degree() {
+        let mut g = InterferenceGraph::new(3, 0);
+        g.add_edge(n(0), n(1));
+        g.remove(n(1));
+        let frozen = g.degree(n(1));
+        assert!(g.add_edge(n(1), n(2)));
+        assert_eq!(g.degree(n(1)), frozen);
+        // The live endpoint gains no live neighbor either.
+        assert_eq!(g.degree(n(2)), 0);
+        g.restore_all();
+        assert_eq!(g.degree(n(1)), 2);
+        assert_eq!(g.degree(n(2)), 1);
     }
 
     #[test]
@@ -292,5 +395,20 @@ mod tests {
         assert_eq!(g.rep(n(1)), n(2));
         assert_eq!(g.rep(n(0)), n(2));
         assert_eq!(g.active_live_ranges(), vec![n(2), n(3)]);
+    }
+
+    #[test]
+    fn restore_all_requires_full_clear_and_recomputes() {
+        let mut g = InterferenceGraph::new(4, 0);
+        g.add_edge(n(0), n(1));
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(2), n(3));
+        g.remove(n(1));
+        g.remove(n(2));
+        g.restore_all();
+        for i in 0..4 {
+            assert!(!g.is_removed(n(i)));
+            assert_eq!(g.degree(n(i)), g.live_neighbors(n(i)).len());
+        }
     }
 }

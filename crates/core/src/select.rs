@@ -102,6 +102,18 @@ pub fn select_traced(
     round: u32,
     tracer: &mut dyn Tracer,
 ) -> SelectResult {
+    // Reverse preference index: rev_pref[m] holds the nodes with a
+    // preference targeting (the representative of) m. Assigning m makes
+    // exactly those nodes' differentials stale.
+    let mut rev_pref: Vec<Vec<NodeId>> = vec![Vec::new(); nodes.num_nodes()];
+    for i in 0..nodes.num_nodes() {
+        let holder = NodeId::new(i);
+        for pref in rpg.prefs(holder) {
+            if let PrefTarget::Node(m) = pref.target {
+                rev_pref[ifg.rep(m).index()].push(holder);
+            }
+        }
+    }
     Selector {
         ifg,
         nodes,
@@ -120,6 +132,10 @@ pub fn select_traced(
             .collect(),
         spilled: vec![false; nodes.num_nodes()],
         processed: vec![false; nodes.num_nodes()],
+        rev_pref,
+        diff_cache: vec![0; nodes.num_nodes()],
+        diff_dirty: vec![true; nodes.num_nodes()],
+        used_scratch: Vec::new(),
     }
     .run(tracer)
 }
@@ -137,6 +153,16 @@ struct Selector<'a> {
     assignment: Vec<Option<PhysReg>>,
     spilled: Vec<bool>,
     processed: Vec<bool>,
+    /// `rev_pref[m]`: nodes holding a preference that targets `m`'s
+    /// representative.
+    rev_pref: Vec<Vec<NodeId>>,
+    /// Cached step-3 strength differential per node; valid while the
+    /// matching `diff_dirty` bit is clear.
+    diff_cache: Vec<i64>,
+    diff_dirty: Vec<bool>,
+    /// Reusable register-occupancy scratch for the differential scan,
+    /// owned by the selector so the frontier loop never allocates.
+    used_scratch: Vec<bool>,
 }
 
 /// One honorable preference: the registers that honor it and the strength
@@ -156,16 +182,26 @@ impl Selector<'_> {
         let mut done = 0;
 
         while !queue.is_empty() {
-            // Step 3: the frontier node with the largest differential.
-            let (qi, differential) = queue
-                .iter()
-                .enumerate()
-                .map(|(i, &n)| (i, self.differential(n)))
-                .max_by(|(i, a), (j, b)| {
-                    a.cmp(b)
-                        .then(queue[*j].index().cmp(&queue[*i].index()))
-                })
-                .expect("non-empty queue");
+            // Step 3: the frontier node with the largest differential
+            // (lowest node id on ties). Differentials are cached and only
+            // recomputed for nodes an assignment actually invalidated —
+            // an interference neighbor or preference holder of the
+            // assigned node — so a steady-state step touches the scratch
+            // buffers of the few dirty frontier nodes instead of
+            // re-deriving every frontier member from scratch.
+            let mut best: Option<(usize, i64)> = None;
+            for i in 0..queue.len() {
+                let n = queue[i];
+                let d = self.cached_differential(n);
+                let better = match best {
+                    None => true,
+                    Some((bi, bd)) => d > bd || (d == bd && n.index() < queue[bi].index()),
+                };
+                if better {
+                    best = Some((i, d));
+                }
+            }
+            let (qi, differential) = best.expect("non-empty queue");
             let frontier = queue.len() as u32;
             let n = queue.swap_remove(qi);
 
@@ -196,7 +232,7 @@ impl Selector<'_> {
     /// Registers not used by already-allocated interference neighbors.
     fn available(&self, n: NodeId) -> Vec<PhysReg> {
         let mut used = vec![false; self.target.num_regs(self.nodes.class())];
-        for x in self.ifg.neighbors(n) {
+        for &x in self.ifg.neighbors_slice(n) {
             if let Some(r) = self.assignment[x.index()] {
                 used[r.index()] = true;
             }
@@ -262,25 +298,88 @@ impl Selector<'_> {
         out
     }
 
+    /// The cached step-3 differential of `n`, recomputed only when a prior
+    /// assignment marked it stale.
+    fn cached_differential(&mut self, n: NodeId) -> i64 {
+        if self.diff_dirty[n.index()] {
+            self.diff_cache[n.index()] = self.differential(n);
+            self.diff_dirty[n.index()] = false;
+        }
+        self.diff_cache[n.index()]
+    }
+
+    /// Marks every node whose differential reads `n`'s assignment as
+    /// stale: `n`'s interference neighbors (their available sets shrank)
+    /// and the holders of preferences targeting `n` (those preferences
+    /// just became honorable). Spills change no assignment, so they
+    /// invalidate nothing.
+    fn invalidate_after_assign(&mut self, n: NodeId) {
+        for &x in self.ifg.neighbors_slice(n) {
+            self.diff_dirty[x.index()] = true;
+        }
+        for i in 0..self.rev_pref[n.index()].len() {
+            let holder = self.rev_pref[n.index()][i];
+            self.diff_dirty[holder.index()] = true;
+        }
+    }
+
+    /// The strength of honoring `pref` with register `r` under the current
+    /// assignments, or `None` when `r` does not honor it (mirrors the
+    /// per-register filters of [`honorable_prefs`](Self::honorable_prefs)).
+    fn pref_strength_if_admits(&self, pref: &Preference, r: PhysReg) -> Option<i64> {
+        let admits = match pref.target {
+            PrefTarget::Volatile => self.target.is_volatile(r),
+            PrefTarget::NonVolatile => !self.target.is_volatile(r),
+            PrefTarget::Set(mask) => r.index() < 64 && (mask >> r.index()) & 1 == 1,
+            PrefTarget::Node(m) => {
+                let m = self.ifg.rep(m);
+                let partner = self.assignment[m.index()]?; // deferred (2.2)
+                match pref.kind {
+                    PrefKind::Coalesce => r == partner,
+                    PrefKind::SequentialPlus => self.target.paired_load.allows(r, partner),
+                    PrefKind::SequentialMinus => self.target.paired_load.allows(partner, r),
+                    PrefKind::Prefers => false,
+                }
+            }
+        };
+        admits.then(|| pref.strength_with(r, self.target))
+    }
+
     /// Step 3's metric: the spread between the best and worst per-register
     /// preference satisfaction over the currently available registers.
-    fn differential(&self, n: NodeId) -> i64 {
-        let avail = self.available(n);
-        if avail.is_empty() {
-            return i64::MIN + 1; // will spill regardless of order
+    /// Allocation-free: occupancy lives in the selector-owned scratch
+    /// buffer and preferences are evaluated per register instead of
+    /// materializing honoring register sets.
+    fn differential(&mut self, n: NodeId) -> i64 {
+        let mut used = std::mem::take(&mut self.used_scratch);
+        used.clear();
+        used.resize(self.target.num_regs(self.nodes.class()), false);
+        for &x in self.ifg.neighbors_slice(n) {
+            if let Some(r) = self.assignment[x.index()] {
+                used[r.index()] = true;
+            }
         }
-        let honorable = self.honorable_prefs(n, &avail);
         let mut best = i64::MIN;
         let mut worst = i64::MAX;
-        for &r in &avail {
-            let s = honorable
+        let mut any_available = false;
+        for r in self.target.regs(self.nodes.class()) {
+            if used[r.index()] {
+                continue;
+            }
+            any_available = true;
+            let s = self
+                .rpg
+                .prefs(n)
                 .iter()
-                .filter(|h| h.regs.contains(&r))
-                .map(|h| h.pref.strength_with(r, self.target))
+                .filter_map(|pref| self.pref_strength_if_admits(pref, r))
                 .max()
                 .unwrap_or(0);
             best = best.max(s);
             worst = worst.min(s);
+        }
+        self.used_scratch = used;
+        if !any_available {
+            return i64::MIN + 1; // will spill regardless of order
         }
         best - worst
     }
@@ -504,6 +603,7 @@ impl Selector<'_> {
             cand[0]
         };
         self.assignment[n.index()] = Some(reg);
+        self.invalidate_after_assign(n);
         if trace {
             self.emit_decision(
                 tracer,
@@ -552,9 +652,9 @@ impl Selector<'_> {
         let m = self.ifg.rep(m);
         let partner_blocked: Vec<PhysReg> = self
             .ifg
-            .neighbors(m)
-            .into_iter()
-            .filter_map(|x| self.assignment[x.index()])
+            .neighbors_slice(m)
+            .iter()
+            .filter_map(|&x| self.assignment[x.index()])
             .collect();
         cand.iter()
             .copied()

@@ -9,9 +9,20 @@
 //! * in [`SimplifyMode::Optimistic`] (Briggs) the candidate is removed
 //!   *optimistically* and pushed like any other node, deferring the spill
 //!   decision to the select phase.
+//!
+//! The low-degree scan is worklist-driven: a min-heap of candidate node
+//! ids is seeded with every initially low-degree node, and each removal
+//! pushes exactly the neighbors whose degree crosses below K. Because no
+//! edges are added during simplification, degrees only fall, so a node
+//! enters the heap at most once and the heap minimum is always the
+//! lowest-id low-degree active node — the same node the previous
+//! full-rescan implementation picked, preserving removal order (and
+//! therefore the pinned decision traces) bit for bit.
 
 use crate::ifg::InterferenceGraph;
 use crate::node::NodeId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// Which spill policy simplification follows.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -65,21 +76,48 @@ pub fn simplify(
         optimistic: Vec::new(),
         chaitin_spills: Vec::new(),
     };
-    loop {
-        let active = ifg.active_live_ranges();
-        if active.is_empty() {
-            return result;
-        }
-        // Lowest-id low-degree node keeps removal deterministic.
-        if let Some(&n) = active.iter().find(|&&n| ifg.degree(n) < k) {
+    // Min-heap of low-degree candidates, by node id: popping the minimum
+    // reproduces the lowest-id-first removal order of a full rescan.
+    let mut worklist: BinaryHeap<Reverse<usize>> = (ifg.num_phys()..ifg.num_nodes())
+        .map(NodeId::new)
+        .filter(|&n| !ifg.is_merged(n) && !ifg.is_removed(n) && ifg.degree(n) < k)
+        .map(|n| Reverse(n.index()))
+        .collect();
+    let mut remaining = (ifg.num_phys()..ifg.num_nodes())
+        .map(NodeId::new)
+        .filter(|&n| !ifg.is_merged(n) && !ifg.is_removed(n))
+        .count();
+
+    // Removes `n`, pushing neighbors whose degree just crossed below K.
+    let pop_neighbors =
+        |ifg: &mut InterferenceGraph, n: NodeId, worklist: &mut BinaryHeap<Reverse<usize>>| {
             ifg.remove(n);
+            for &x in ifg.neighbors_slice(n) {
+                if !ifg.is_removed(x) && !ifg.is_precolored(x) && ifg.degree(x) + 1 == k {
+                    worklist.push(Reverse(x.index()));
+                }
+            }
+        };
+
+    while remaining > 0 {
+        // Drain the worklist, skipping stale entries defensively (the
+        // threshold-crossing push discipline should never produce one).
+        if let Some(Reverse(i)) = worklist.pop() {
+            let n = NodeId::new(i);
+            if ifg.is_removed(n) {
+                continue;
+            }
+            debug_assert!(ifg.degree(n) < k, "worklist entry regained degree");
+            pop_neighbors(ifg, n, &mut worklist);
             result.stack.push(n);
+            remaining -= 1;
             continue;
         }
-        // Blocked: every active node is significant-degree.
-        let cand = active
-            .iter()
-            .copied()
+        // Blocked: every active node is significant-degree. Scan for the
+        // best spill candidate without materializing the active set.
+        let cand = (ifg.num_phys()..ifg.num_nodes())
+            .map(NodeId::new)
+            .filter(|&n| !ifg.is_merged(n) && !ifg.is_removed(n))
             .filter(|&n| spill_costs[n.index()] != u64::MAX)
             .min_by(|&a, &b| {
                 // cost/degree ascending; compare cross-multiplied to stay
@@ -91,7 +129,8 @@ pub fn simplify(
             .unwrap_or_else(|| {
                 panic!("simplify: graph blocked with only unspillable nodes (K={k})")
             });
-        ifg.remove(cand);
+        pop_neighbors(ifg, cand, &mut worklist);
+        remaining -= 1;
         match mode {
             SimplifyMode::Chaitin => result.chaitin_spills.push(cand),
             SimplifyMode::Optimistic => {
@@ -100,6 +139,7 @@ pub fn simplify(
             }
         }
     }
+    result
 }
 
 #[cfg(test)]
@@ -199,5 +239,25 @@ mod tests {
         let costs = vec![1; 3];
         let r = simplify(&mut g, 3, &costs, SimplifyMode::Optimistic);
         assert_eq!(r.stack, vec![n(0), n(1), n(2)]);
+    }
+
+    #[test]
+    fn worklist_matches_rescan_order_on_unblocking_chain() {
+        // A "caterpillar" where removing the blocked candidate unblocks
+        // lower-id nodes: the worklist must still emit them lowest-id
+        // first, exactly like the old full rescan.
+        let mut g = InterferenceGraph::new(6, 0);
+        for a in 0..5 {
+            for b in (a + 1)..5 {
+                g.add_edge(n(a), n(b)); // K5 over 0..5
+            }
+        }
+        g.add_edge(n(5), n(0));
+        let costs = vec![50, 40, 30, 20, 10, 60];
+        let r = simplify(&mut g, 3, &costs, SimplifyMode::Optimistic);
+        // 5 is low-degree (1) and lowest-available first; then the K5
+        // blocks, spilling cheapest 4, then 3; then 0,1,2 drain by id.
+        assert_eq!(r.stack, vec![n(5), n(4), n(3), n(0), n(1), n(2)]);
+        assert_eq!(r.optimistic, vec![n(4), n(3)]);
     }
 }

@@ -24,6 +24,7 @@ USAGE:
     pdgc allocate <FILE> [--allocator NAME] [--target NAME] [TRACING]
     pdgc run <FILE> [--allocator NAME] [--target NAME] [--args N,N,...] [TRACING]
     pdgc demo [TRACING]
+    pdgc bench batch [--jobs N] [--allocator NAME] [--target NAME]
     pdgc --help
 
 ALLOCATORS:
@@ -37,6 +38,12 @@ TRACING:
                         per-node select decisions, spill events) to PATH
     --dump-graphs DIR   write per-round Graphviz dumps of the interference,
                         preference, and precedence graphs into DIR
+
+BENCH:
+    `bench batch` allocates the whole SPECjvm98 analog suite through the
+    parallel batch driver at --jobs 1 and --jobs N (default: the machine's
+    available parallelism), verifies the allocations are bit-identical,
+    prints throughput, and writes results/bench_batch.json.
 
 FILE FORMAT:
     The textual IR produced by the library's Display impl; see
@@ -83,6 +90,7 @@ struct Options {
     args: Vec<u64>,
     trace: Option<String>,
     dump_graphs: Option<String>,
+    jobs: Option<usize>,
 }
 
 fn parse_options(argv: &[String]) -> Result<Options, String> {
@@ -93,6 +101,7 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
         args: Vec::new(),
         trace: None,
         dump_graphs: None,
+        jobs: None,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -117,12 +126,18 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
             "--dump-graphs" => {
                 o.dump_graphs = Some(it.next().ok_or("--dump-graphs needs a value")?.clone());
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                o.jobs = Some(v.parse().map_err(|_| format!("bad job count `{v}`"))?);
+            }
             other => {
                 // Also accept the --flag=value spelling.
                 if let Some(v) = other.strip_prefix("--trace=") {
                     o.trace = Some(v.to_string());
                 } else if let Some(v) = other.strip_prefix("--dump-graphs=") {
                     o.dump_graphs = Some(v.to_string());
+                } else if let Some(v) = other.strip_prefix("--jobs=") {
+                    o.jobs = Some(v.parse().map_err(|_| format!("bad job count `{v}`"))?);
                 } else if other.starts_with("--") {
                     return Err(format!("unknown flag {other}"));
                 } else if o.file.replace(other.to_string()).is_some() {
@@ -233,6 +248,61 @@ fn cmd_run(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Like [`pick_allocator`], but `Sync` so the batch driver can share the
+/// allocator across worker threads. Every shipped allocator is stateless
+/// between calls, so all of them qualify.
+fn pick_allocator_sync(name: &str) -> Option<Box<dyn RegisterAllocator + Sync>> {
+    use pdgc::core::baselines::*;
+    Some(match name {
+        "full" => Box::new(PreferenceAllocator::full()),
+        "coalesce" => Box::new(PreferenceAllocator::coalescing_only()),
+        "chaitin" => Box::new(ChaitinAllocator),
+        "briggs" => Box::new(BriggsAllocator),
+        "iterated" => Box::new(IteratedAllocator),
+        "optimistic" => Box::new(OptimisticAllocator),
+        "callcost" => Box::new(CallCostAllocator),
+        _ => return None,
+    })
+}
+
+fn cmd_bench_batch(o: &Options) -> Result<(), String> {
+    let alloc = pick_allocator_sync(&o.allocator)
+        .ok_or_else(|| format!("unknown allocator `{}`", o.allocator))?;
+    let target =
+        pick_target(&o.target).ok_or_else(|| format!("unknown target `{}`", o.target))?;
+    let jobs = o
+        .jobs
+        .or_else(|| std::thread::available_parallelism().ok().map(usize::from))
+        .unwrap_or(1)
+        .max(1);
+    let workloads: Vec<pdgc_workloads::Workload> = pdgc_workloads::specjvm_suite()
+        .iter()
+        .map(pdgc_workloads::generate)
+        .collect();
+    let total: usize = workloads.iter().map(|w| w.funcs.len()).sum();
+    println!(
+        "batch: {total} functions, allocator {}, target {}, jobs 1 vs {jobs}",
+        o.allocator, target.name
+    );
+    let cmp = pdgc_bench::batch::compare_jobs(alloc.as_ref(), &workloads, &target, jobs, 1);
+    for r in [&cmp.serial, &cmp.parallel] {
+        println!(
+            "jobs={:<3} {:8.1} ms   {:7.1} funcs/sec   {:.2}x",
+            r.jobs,
+            r.elapsed.as_secs_f64() * 1e3,
+            r.funcs_per_sec(),
+            r.funcs_per_sec() / cmp.serial.funcs_per_sec().max(1e-9),
+        );
+    }
+    let path = cmp.write_json().map_err(|e| e.to_string())?;
+    println!("wrote {}", path.display());
+    if !cmp.identical() {
+        return Err("parallel allocation diverged from serial".into());
+    }
+    println!("allocations identical across job counts: yes");
+    Ok(())
+}
+
 fn cmd_demo(o: &Options) -> Result<(), String> {
     let text = "\
 fn fig7(v0: int) {
@@ -268,6 +338,14 @@ fn main() -> ExitCode {
         Some("allocate") => parse_options(&argv[1..]).and_then(|o| cmd_allocate(&o)),
         Some("run") => parse_options(&argv[1..]).and_then(|o| cmd_run(&o)),
         Some("demo") => parse_options(&argv[1..]).and_then(|o| cmd_demo(&o)),
+        Some("bench") => match argv.get(1).map(String::as_str) {
+            Some("batch") => parse_options(&argv[2..]).and_then(|o| cmd_bench_batch(&o)),
+            other => Err(format!(
+                "unknown bench subcommand {}\n\n{}",
+                other.unwrap_or("(none)"),
+                usage()
+            )),
+        },
         Some("--help") | Some("-h") | None => {
             println!("{}", usage());
             return ExitCode::SUCCESS;

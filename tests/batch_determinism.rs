@@ -1,0 +1,57 @@
+//! The parallel batch driver must be bit-identical to the serial one: the
+//! `--jobs N` worker pool may change *when* and *where* each function is
+//! allocated, but never *what* it produces. This runs the differential
+//! suite's workloads through `run_batch` at `--jobs 1` and `--jobs 4` and
+//! compares per-function statistics and rewrite fingerprints.
+
+use pdgc::prelude::*;
+use pdgc_bench::batch::run_batch;
+
+fn suite() -> Vec<Workload> {
+    specjvm_suite().iter().map(generate).collect()
+}
+
+#[test]
+fn jobs4_is_bit_identical_to_jobs1_on_full_allocator() {
+    let workloads = suite();
+    let target = TargetDesc::ia64_like(PressureModel::Middle);
+    let alloc = PreferenceAllocator::full();
+    let serial = run_batch(&alloc, &workloads, &target, 1);
+    let parallel = run_batch(&alloc, &workloads, &target, 4);
+
+    assert_eq!(serial.funcs.len(), parallel.funcs.len());
+    assert!(serial.funcs.len() >= 60, "suite unexpectedly small");
+    for (a, b) in serial.funcs.iter().zip(&parallel.funcs) {
+        assert_eq!(a.index, b.index);
+        assert_eq!(a.func, b.func);
+        assert_eq!(
+            a.fingerprint, b.fingerprint,
+            "rewrite output diverged on {} ({})",
+            a.func, a.workload
+        );
+        assert_eq!(a.stats, b.stats, "stats diverged on {}", a.func);
+    }
+    assert!(serial.same_allocations(&parallel));
+    assert_eq!(serial.stats, parallel.stats);
+}
+
+#[test]
+fn jobs4_is_bit_identical_to_jobs1_across_pressure_models() {
+    // Lighter sweep (first functions of each workload) over the other two
+    // pressure models, so every differential-suite target shape is covered.
+    let mut workloads = suite();
+    for w in &mut workloads {
+        w.funcs.truncate(3);
+    }
+    let alloc = PreferenceAllocator::full();
+    for pressure in [PressureModel::High, PressureModel::Low] {
+        let target = TargetDesc::ia64_like(pressure);
+        let serial = run_batch(&alloc, &workloads, &target, 1);
+        let parallel = run_batch(&alloc, &workloads, &target, 4);
+        assert!(
+            serial.same_allocations(&parallel),
+            "divergence under {pressure:?}"
+        );
+        assert_eq!(serial.stats, parallel.stats);
+    }
+}

@@ -142,6 +142,82 @@ proptest! {
         }
     }
 
+    /// Degree accounting under random interleavings of `add_edge`,
+    /// `merge`, `remove`, and `restore_all`:
+    ///
+    /// * every **live** node's degree equals its live-neighbor count;
+    /// * every **removed** node's degree stays *frozen* at its
+    ///   removal-time value until `restore_all` recomputes it.
+    ///
+    /// The frozen half is the sharp edge: the pre-fix `merge()` guarded
+    /// its degree decrements on the merged node `b` (asserted unremoved
+    /// four lines up — a dead check) instead of on the affected neighbor,
+    /// so a shared neighbor that was already removed had its meaningless-
+    /// but-frozen degree mutated. This test fails on that version.
+    #[test]
+    fn ifg_degree_accounting_under_random_interleavings(
+        n in 2usize..20,
+        ops in proptest::collection::vec((0usize..6, 0usize..20, 0usize..20), 1..60),
+    ) {
+        let mut g = InterferenceGraph::new(n, 0);
+        // frozen[i] = the degree node i carried when it was removed.
+        let mut frozen: Vec<Option<usize>> = vec![None; n];
+        for (kind, x, y) in ops {
+            let (a, b) = (NodeId::new(x % n), NodeId::new(y % n));
+            match kind {
+                // add_edge weighted 3x so graphs grow dense enough for
+                // merges to hit the shared-neighbor path.
+                0 | 1 | 2 => {
+                    g.add_edge(a, b);
+                }
+                3 => {
+                    let (ra, rb) = (g.rep(a), g.rep(b));
+                    if ra != rb
+                        && !g.interferes(ra, rb)
+                        && !g.is_removed(ra)
+                        && !g.is_removed(rb)
+                    {
+                        g.merge(ra, rb);
+                    }
+                }
+                4 => {
+                    let r = g.rep(a);
+                    if !g.is_removed(r) {
+                        g.remove(r);
+                        frozen[r.index()] = Some(g.degree(r));
+                    }
+                }
+                _ => {
+                    g.restore_all();
+                    frozen.iter_mut().for_each(|f| *f = None);
+                }
+            }
+            for i in 0..n {
+                let node = NodeId::new(i);
+                if g.is_merged(node) {
+                    continue;
+                }
+                if g.is_removed(node) {
+                    prop_assert_eq!(
+                        Some(g.degree(node)),
+                        frozen[i],
+                        "removed node {}'s frozen degree mutated (op {:?})",
+                        i,
+                        (kind, x, y)
+                    );
+                } else {
+                    prop_assert_eq!(
+                        g.degree(node),
+                        g.live_neighbors(node).len(),
+                        "live node {}'s degree drifted (op {:?})",
+                        i,
+                        (kind, x, y)
+                    );
+                }
+            }
+        }
+    }
+
     /// Allocation is semantics-preserving on randomly generated programs
     /// for every allocator (beyond the fixed-seed differential suite).
     #[test]

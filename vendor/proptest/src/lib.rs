@@ -4,14 +4,25 @@
 //! and `collection::vec`.
 //!
 //! Cases are generated from a fixed-seed deterministic PRNG, so runs are
-//! reproducible. Unlike the real crate there is **no shrinking** and no
-//! persisted regression corpus: a failing case panics with the assertion
-//! message straight away.
+//! reproducible. Unlike the real crate there is no integrated shrink
+//! *tree*, but strategies implement value-level [`strategy::Strategy::shrink`]
+//! (integers bisect toward their lower bound, vectors shorten and shrink
+//! elements, tuples shrink componentwise) and the runner greedily applies
+//! it to a failing case before panicking, so counterexamples come out
+//! small.
+//!
+//! Failing seeds are persisted to the sibling
+//! `<test-file>.proptest-regressions` file in the real crate's `cc <hex>`
+//! line format (the first 16 hex digits hold the runner seed), and every
+//! run replays the seeds found there before generating fresh cases.
 
 #![forbid(unsafe_code)]
 
 pub mod test_runner {
-    //! Case generation and the pass/fail/reject protocol.
+    //! Case generation, the pass/fail/reject protocol, shrinking, and the
+    //! regression corpus.
+
+    use crate::strategy::Strategy;
 
     /// Why a single generated case did not pass.
     #[derive(Clone, Debug, PartialEq, Eq)]
@@ -78,6 +89,18 @@ pub mod test_runner {
             TestRunner { state: 0x8537_1f2f_9a6d_0c41 }
         }
 
+        /// A runner whose stream starts at `seed` (used to replay
+        /// persisted regressions).
+        pub fn from_seed(seed: u64) -> Self {
+            TestRunner { state: seed }
+        }
+
+        /// The current PRNG state: capturing it before generating a case
+        /// and passing it to [`TestRunner::from_seed`] replays that case.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+
         /// The next 64 random bits (SplitMix64).
         pub fn next_u64(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
@@ -107,6 +130,9 @@ pub mod test_runner {
 
     /// Drives `case` until `config.cases` cases pass. Rejections retry
     /// with fresh inputs; a failure panics with the case's message.
+    ///
+    /// This is the raw driver with no shrinking or regression corpus; the
+    /// `proptest!` macro uses [`run_with_shrink`].
     pub fn run(config: ProptestConfig, mut case: impl FnMut(&mut TestRunner) -> TestCaseResult) {
         let mut runner = TestRunner::new();
         let mut passed = 0u32;
@@ -128,6 +154,200 @@ pub mod test_runner {
             }
         }
     }
+
+    /// Hard cap on case re-executions spent minimizing one failure.
+    const SHRINK_BUDGET: usize = 4096;
+
+    /// [`run`] with shrinking and regression-corpus support, driven by a
+    /// single strategy for the whole input tuple:
+    ///
+    /// 1. every seed persisted in `<source_file>.proptest-regressions`
+    ///    is replayed first;
+    /// 2. fresh cases are generated until `config.cases` pass, capturing
+    ///    the runner state before each one;
+    /// 3. on failure, the failing seed is appended to the regression file
+    ///    and the input is greedily shrunk via [`Strategy::shrink`] before
+    ///    the final panic reports the minimal failing input.
+    pub fn run_with_shrink<S: Strategy>(
+        config: ProptestConfig,
+        source_file: &str,
+        strat: &S,
+        case: impl Fn(&S::Value) -> TestCaseResult,
+    ) where
+        S::Value: Clone + std::fmt::Debug,
+    {
+        for seed in regressions::load(source_file) {
+            let mut runner = TestRunner::from_seed(seed);
+            let value = strat.new_value(&mut runner);
+            if let Err(TestCaseError::Fail(msg)) = case(&value) {
+                shrink_and_panic(strat, &case, value, msg, seed, 0);
+            }
+        }
+        let mut runner = TestRunner::new();
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        let reject_cap = config.cases.saturating_mul(20).saturating_add(256);
+        while passed < config.cases {
+            let seed = runner.state();
+            let value = strat.new_value(&mut runner);
+            match case(&value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => {
+                    rejected += 1;
+                    assert!(
+                        rejected < reject_cap,
+                        "too many rejected cases ({rejected}) after {passed} passes"
+                    );
+                }
+                Err(TestCaseError::Fail(msg)) => {
+                    regressions::persist(source_file, seed);
+                    shrink_and_panic(strat, &case, value, msg, seed, passed);
+                }
+            }
+        }
+    }
+
+    /// Greedily minimizes `value` (keeping it failing), then panics with
+    /// the shrunk input and the seed that reproduces it.
+    fn shrink_and_panic<S: Strategy>(
+        strat: &S,
+        case: &impl Fn(&S::Value) -> TestCaseResult,
+        mut value: S::Value,
+        mut msg: String,
+        seed: u64,
+        passed: u32,
+    ) -> !
+    where
+        S::Value: Clone + std::fmt::Debug,
+    {
+        let mut evals = 0usize;
+        'minimize: while evals < SHRINK_BUDGET {
+            for cand in strat.shrink(&value) {
+                evals += 1;
+                if let Err(TestCaseError::Fail(m)) = case(&cand) {
+                    value = cand;
+                    msg = m;
+                    continue 'minimize; // restart from the smaller input
+                }
+                if evals >= SHRINK_BUDGET {
+                    break;
+                }
+            }
+            break; // no candidate still fails: `value` is minimal
+        }
+        panic!(
+            "proptest case failed after {passed} passes: {msg}\n\
+             minimal failing input (after {evals} shrink attempts): {value:?}\n\
+             replay seed: {seed:#018x}"
+        );
+    }
+
+    mod regressions {
+        //! The persisted failing-seed corpus, in the real crate's file
+        //! format: one `cc <64 hex digits>` line per failure, of which the
+        //! first 16 digits hold the [`TestRunner`](super::TestRunner) seed.
+
+        use std::path::PathBuf;
+
+        /// Candidate locations of the corpus for a `file!()` path. Test
+        /// binaries run with the *package* root as the working directory
+        /// while `file!()` is workspace-relative, so besides the verbatim
+        /// path every leading-component suffix is tried (e.g.
+        /// `crates/analysis/tests/props.rs` → `tests/props.rs`).
+        fn candidates(source_file: &str) -> Vec<PathBuf> {
+            let base = match source_file.strip_suffix(".rs") {
+                Some(stem) => format!("{stem}.proptest-regressions"),
+                None => format!("{source_file}.proptest-regressions"),
+            };
+            let mut out = vec![PathBuf::from(&base)];
+            let mut rest = base.as_str();
+            while let Some((_, tail)) = rest.split_once('/') {
+                out.push(PathBuf::from(tail));
+                rest = tail;
+            }
+            out
+        }
+
+        /// Every replayable seed persisted for `source_file`.
+        pub fn load(source_file: &str) -> Vec<u64> {
+            for path in candidates(source_file) {
+                if let Ok(text) = std::fs::read_to_string(&path) {
+                    return parse(&text);
+                }
+            }
+            Vec::new()
+        }
+
+        fn parse(text: &str) -> Vec<u64> {
+            text.lines()
+                .filter_map(|line| {
+                    let line = line.trim();
+                    let mut tokens = line.split_whitespace();
+                    if tokens.next() != Some("cc") {
+                        return None; // comment or blank
+                    }
+                    let blob = tokens.next()?;
+                    u64::from_str_radix(blob.get(..16)?, 16).ok()
+                })
+                .collect()
+        }
+
+        /// Appends `seed` to the corpus for `source_file` (no-op if it is
+        /// already recorded or no writable location exists — persistence
+        /// is best-effort and never masks the test failure itself).
+        pub fn persist(source_file: &str, seed: u64) {
+            let cands = candidates(source_file);
+            let path = cands
+                .iter()
+                .find(|p| p.exists())
+                .or_else(|| cands.iter().find(|p| p.parent().is_some_and(|d| d.is_dir())))
+                .cloned();
+            let Some(path) = path else { return };
+            let existing = std::fs::read_to_string(&path).unwrap_or_default();
+            if parse(&existing).contains(&seed) {
+                return;
+            }
+            let mut body = existing;
+            if body.is_empty() {
+                body.push_str(
+                    "# Seeds for failure cases proptest has generated in the past.\n\
+                     # It is automatically read and these particular cases re-run before\n\
+                     # any novel cases are generated.\n",
+                );
+            }
+            body.push_str(&format!("cc {seed:016x}{}\n", "0".repeat(48)));
+            let _ = std::fs::write(&path, body);
+        }
+
+        #[cfg(test)]
+        mod tests {
+            #[test]
+            fn parses_real_format_lines() {
+                let text = "# comment\n\
+                    cc 93b3e0b41c2b0bfdea07a969cfe961908e9be84e734a00128586380dc5e689a3 # shrinks to seed = 1, ops = 54\n\
+                    \n\
+                    not-a-cc-line\n\
+                    cc 0000000000000010aaaa\n";
+                assert_eq!(super::parse(text), vec![0x93b3_e0b4_1c2b_0bfd, 0x10]);
+            }
+
+            #[test]
+            fn candidates_strip_leading_components() {
+                let c = super::candidates("crates/analysis/tests/props.rs");
+                let names: Vec<String> =
+                    c.iter().map(|p| p.to_string_lossy().into_owned()).collect();
+                assert_eq!(
+                    names,
+                    [
+                        "crates/analysis/tests/props.proptest-regressions",
+                        "analysis/tests/props.proptest-regressions",
+                        "tests/props.proptest-regressions",
+                        "props.proptest-regressions",
+                    ]
+                );
+            }
+        }
+    }
 }
 
 pub mod strategy {
@@ -137,14 +357,22 @@ pub mod strategy {
 
     /// Something that can produce values of `Self::Value`.
     ///
-    /// Unlike real proptest there is no shrink tree: a strategy is just
-    /// a sampler.
+    /// Unlike real proptest there is no shrink tree: a strategy is a
+    /// sampler plus a value-level [`shrink`](Strategy::shrink) proposing
+    /// smaller variants of a failing value.
     pub trait Strategy {
         /// The type of generated values.
         type Value;
 
         /// Generates one value.
         fn new_value(&self, runner: &mut TestRunner) -> Self::Value;
+
+        /// Candidate simplifications of `value`, most aggressive first.
+        /// Every candidate must itself be a value this strategy could
+        /// have generated. The default proposes nothing.
+        fn shrink(&self, _value: &Self::Value) -> Vec<Self::Value> {
+            Vec::new()
+        }
 
         /// A strategy producing `f(value)`.
         fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
@@ -171,6 +399,9 @@ pub mod strategy {
         fn new_value(&self, runner: &mut TestRunner) -> T {
             self.0.new_value(runner)
         }
+        fn shrink(&self, value: &T) -> Vec<T> {
+            self.0.shrink(value)
+        }
     }
 
     /// Always produces a clone of the wrapped value.
@@ -195,6 +426,8 @@ pub mod strategy {
         fn new_value(&self, runner: &mut TestRunner) -> O {
             (self.f)(self.inner.new_value(runner))
         }
+        // No shrink: the mapping is not invertible, so the pre-image of
+        // the failing value is unknown.
     }
 
     /// Uniform choice between alternatives; backs `prop_oneof!`.
@@ -216,6 +449,20 @@ pub mod strategy {
             let i = runner.pick(self.options.len());
             self.options[i].new_value(runner)
         }
+        // No shrink: the producing arm is unknown, and another arm's
+        // shrinker could propose values outside that arm's domain.
+    }
+
+    /// Bisection candidates for an integer at unsigned distance `delta`
+    /// from its shrink target, nearest-target first.
+    fn bisect_deltas(delta: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        for d in [0, delta / 2, delta - 1] {
+            if d < delta && !out.contains(&d) {
+                out.push(d);
+            }
+        }
+        out
     }
 
     macro_rules! int_range_strategies {
@@ -226,6 +473,16 @@ pub mod strategy {
                     assert!(self.start < self.end, "cannot sample empty range");
                     let span = self.end.abs_diff(self.start) as u64;
                     self.start.wrapping_add((runner.next_u64() % span) as $t)
+                }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let delta = value.abs_diff(self.start) as u64;
+                    if delta == 0 {
+                        return Vec::new();
+                    }
+                    bisect_deltas(delta)
+                        .into_iter()
+                        .map(|d| self.start.wrapping_add(d as $t))
+                        .collect()
                 }
             }
             impl Strategy for core::ops::RangeInclusive<$t> {
@@ -239,6 +496,17 @@ pub mod strategy {
                     }
                     lo.wrapping_add((runner.next_u64() % (span + 1)) as $t)
                 }
+                fn shrink(&self, value: &$t) -> Vec<$t> {
+                    let lo = *self.start();
+                    let delta = value.abs_diff(lo) as u64;
+                    if delta == 0 {
+                        return Vec::new();
+                    }
+                    bisect_deltas(delta)
+                        .into_iter()
+                        .map(|d| lo.wrapping_add(d as $t))
+                        .collect()
+                }
             }
         )*};
     }
@@ -251,29 +519,62 @@ pub mod strategy {
             assert!(self.start < self.end, "cannot sample empty range");
             self.start + runner.f64_unit() * (self.end - self.start)
         }
+        fn shrink(&self, value: &f64) -> Vec<f64> {
+            if *value <= self.start {
+                return Vec::new();
+            }
+            vec![self.start, self.start + (value - self.start) / 2.0]
+        }
     }
 
     macro_rules! tuple_strategies {
         ($(($($s:ident . $idx:tt),+))*) => {$(
-            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+)
+            where
+                $($s::Value: Clone),+
+            {
                 type Value = ($($s::Value,)+);
                 fn new_value(&self, runner: &mut TestRunner) -> Self::Value {
                     ($(self.$idx.new_value(runner),)+)
+                }
+                fn shrink(&self, value: &Self::Value) -> Vec<Self::Value> {
+                    // Componentwise: shrink one position at a time,
+                    // holding the others at the failing value.
+                    let mut out = Vec::new();
+                    $(
+                        for cand in self.$idx.shrink(&value.$idx) {
+                            let mut next = value.clone();
+                            next.$idx = cand;
+                            out.push(next);
+                        }
+                    )+
+                    out
                 }
             }
         )*};
     }
 
     tuple_strategies! {
+        (A.0)
         (A.0, B.1)
         (A.0, B.1, C.2)
         (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
     }
 
     /// Types with a canonical "any value" strategy.
     pub trait Arbitrary: Sized {
         /// One arbitrary value.
         fn arbitrary(runner: &mut TestRunner) -> Self;
+
+        /// Simplifications of `value` (toward zero / `false`), used by
+        /// [`Any`]'s shrinker.
+        fn shrink_arb(_value: &Self) -> Vec<Self> {
+            Vec::new()
+        }
     }
 
     macro_rules! int_arbitrary {
@@ -281,6 +582,24 @@ pub mod strategy {
             impl Arbitrary for $t {
                 fn arbitrary(runner: &mut TestRunner) -> $t {
                     runner.next_u64() as $t
+                }
+                fn shrink_arb(value: &$t) -> Vec<$t> {
+                    let delta = value.abs_diff(0) as u64;
+                    if delta == 0 {
+                        return Vec::new();
+                    }
+                    // Bisect the magnitude toward zero, keeping the sign.
+                    let sign: $t = if *value < (0 as $t) { 0 as $t } else { 1 as $t };
+                    bisect_deltas(delta)
+                        .into_iter()
+                        .map(|d| {
+                            if sign == (1 as $t) {
+                                (0 as $t).wrapping_add(d as $t)
+                            } else {
+                                (0 as $t).wrapping_sub(d as $t)
+                            }
+                        })
+                        .collect()
                 }
             }
         )*};
@@ -292,11 +611,24 @@ pub mod strategy {
         fn arbitrary(runner: &mut TestRunner) -> bool {
             runner.next_u64() & 1 == 1
         }
+        fn shrink_arb(value: &bool) -> Vec<bool> {
+            if *value {
+                vec![false]
+            } else {
+                Vec::new()
+            }
+        }
     }
 
     impl Arbitrary for f64 {
         fn arbitrary(runner: &mut TestRunner) -> f64 {
             runner.f64_unit()
+        }
+        fn shrink_arb(value: &f64) -> Vec<f64> {
+            if *value == 0.0 {
+                return Vec::new();
+            }
+            vec![0.0, value / 2.0]
         }
     }
 
@@ -307,6 +639,9 @@ pub mod strategy {
         type Value = A;
         fn new_value(&self, runner: &mut TestRunner) -> A {
             A::arbitrary(runner)
+        }
+        fn shrink(&self, value: &A) -> Vec<A> {
+            A::shrink_arb(value)
         }
     }
 
@@ -355,12 +690,45 @@ pub mod collection {
         size: SizeRange,
     }
 
-    impl<S: Strategy> Strategy for VecStrategy<S> {
+    impl<S: Strategy> Strategy for VecStrategy<S>
+    where
+        S::Value: Clone,
+    {
         type Value = Vec<S::Value>;
         fn new_value(&self, runner: &mut TestRunner) -> Vec<S::Value> {
             let span = self.size.hi_inclusive - self.size.lo + 1;
             let len = self.size.lo + runner.pick(span.max(1));
             (0..len).map(|_| self.element.new_value(runner)).collect()
+        }
+        fn shrink(&self, value: &Vec<S::Value>) -> Vec<Vec<S::Value>> {
+            let mut out = Vec::new();
+            let lo = self.size.lo;
+            // Shorten first (never below the length bound): the minimum,
+            // the halfway point, then dropping single elements — last
+            // first, then each interior position.
+            if value.len() > lo {
+                out.push(value[..lo].to_vec());
+                let half = lo + (value.len() - lo) / 2;
+                if half > lo && half < value.len() {
+                    out.push(value[..half].to_vec());
+                }
+                for i in (0..value.len()).rev() {
+                    let mut v = value.clone();
+                    v.remove(i);
+                    if v.len() >= lo {
+                        out.push(v);
+                    }
+                }
+            }
+            // Then shrink elements in place.
+            for (i, elem) in value.iter().enumerate() {
+                for cand in self.element.shrink(elem) {
+                    let mut v = value.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
         }
     }
 
@@ -380,7 +748,8 @@ pub mod prelude {
 
 /// Declares property tests. Each `fn name(pat in strategy, ...) { .. }`
 /// becomes a `#[test]` (the attribute is written by the caller, as with
-/// real proptest) that runs the body over generated inputs.
+/// real proptest) that runs the body over generated inputs, replays the
+/// sibling `.proptest-regressions` corpus first, and shrinks failures.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
@@ -393,10 +762,19 @@ macro_rules! proptest {
         $(
             $(#[$attr])*
             fn $name() {
-                $crate::test_runner::run($cfg, |runner| {
-                    $(let $arg = $crate::strategy::Strategy::new_value(&($strat), runner);)+
-                    (|| -> $crate::test_runner::TestCaseResult { $body; Ok(()) })()
-                });
+                // One tuple strategy over all arguments: values are drawn
+                // left to right from the same runner stream the per-
+                // argument generation used, so case inputs are unchanged.
+                let __pdgc_strategy = ($(($strat),)+);
+                $crate::test_runner::run_with_shrink(
+                    $cfg,
+                    file!(),
+                    &__pdgc_strategy,
+                    |__pdgc_value| {
+                        let ($($arg,)+) = ::core::clone::Clone::clone(__pdgc_value);
+                        (|| -> $crate::test_runner::TestCaseResult { $body; Ok(()) })()
+                    },
+                );
             }
         )*
     };
@@ -538,6 +916,17 @@ mod tests {
                 prop_assert!(a < 5 && b < 5);
             }
         }
+
+        #[test]
+        fn five_plus_arguments_supported(
+            a in 0usize..4,
+            b in 0usize..4,
+            c in 0usize..4,
+            d in 0usize..4,
+            e in 0usize..4,
+        ) {
+            prop_assert!(a < 4 && b < 4 && c < 4 && d < 4 && e < 4);
+        }
     }
 
     #[test]
@@ -558,5 +947,119 @@ mod tests {
             prop_assert_eq!(v, 42);
             Ok(())
         });
+    }
+
+    #[test]
+    fn integer_shrink_bisects_toward_lower_bound() {
+        let shrinks = Strategy::shrink(&(3usize..100), &83);
+        assert_eq!(shrinks, vec![3, 43, 82]);
+        assert!(Strategy::shrink(&(3usize..100), &3).is_empty());
+        let inclusive = Strategy::shrink(&(2u8..=5), &4);
+        assert_eq!(inclusive, vec![2, 3]);
+    }
+
+    #[test]
+    fn signed_any_shrinks_toward_zero() {
+        let shrinks = crate::strategy::Arbitrary::shrink_arb(&-40i32);
+        assert_eq!(shrinks, vec![0, -20, -39]);
+        assert!(crate::strategy::Arbitrary::shrink_arb(&0i32).is_empty());
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_length_and_shrinks_elements() {
+        let strat = crate::collection::vec(0usize..10, 2..=4);
+        let value = vec![7, 0, 5];
+        let shrinks = Strategy::shrink(&strat, &value);
+        assert!(shrinks.iter().all(|v| (2..=4).contains(&v.len())));
+        assert!(shrinks.contains(&vec![7, 0])); // truncated to the minimum
+        assert!(shrinks.contains(&vec![0, 0, 5])); // element 0 shrunk
+        assert!(shrinks.contains(&vec![7, 5])); // middle element dropped
+    }
+
+    #[test]
+    fn tuple_shrink_is_componentwise() {
+        let strat = (1usize..10, 0u8..4);
+        let shrinks = Strategy::shrink(&strat, &(9, 3));
+        assert!(shrinks.contains(&(1, 3)));
+        assert!(shrinks.contains(&(9, 0)));
+        assert!(!shrinks.contains(&(1, 0)), "only one component at a time");
+    }
+
+    #[test]
+    fn shrinking_finds_minimal_counterexample() {
+        // Fails whenever x >= 20: the shrinker must land exactly on 20.
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run_with_shrink(
+                ProptestConfig::with_cases(200),
+                "no-such-dir/none.rs",
+                &(0u64..1000,),
+                |&(x,)| {
+                    prop_assert!(x < 20, "x was {}", x);
+                    Ok(())
+                },
+            );
+        });
+        let msg = *result.unwrap_err().downcast::<String>().expect("string panic");
+        assert!(msg.contains("minimal failing input"), "{msg}");
+        assert!(msg.contains("(20,)"), "not minimal: {msg}");
+    }
+
+    #[test]
+    fn regression_seed_replays_before_fresh_cases() {
+        // A corpus seed whose first generated value trips the assertion
+        // guarantees the failure fires immediately on replay, regardless
+        // of what fresh generation would produce.
+        let dir = std::env::temp_dir().join(format!("pdgc-proptest-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let src = dir.join("replay.rs");
+        let corpus = dir.join("replay.proptest-regressions");
+        // Find a seed that generates a failing value (>= 500).
+        let mut seed = 1u64;
+        loop {
+            let mut r = crate::test_runner::TestRunner::from_seed(seed);
+            if Strategy::new_value(&(0u64..1000), &mut r) >= 500 {
+                break;
+            }
+            seed += 1;
+        }
+        std::fs::write(&corpus, format!("cc {seed:016x}{}\n", "0".repeat(48))).unwrap();
+        let src_str = src.to_string_lossy().into_owned();
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run_with_shrink(
+                // Zero fresh cases: only the replayed corpus can fail.
+                ProptestConfig::with_cases(0),
+                &src_str,
+                &(0u64..1000,),
+                |&(x,)| {
+                    prop_assert!(x < 500, "x was {}", x);
+                    Ok(())
+                },
+            );
+        });
+        assert!(result.is_err(), "corpus replay did not fire");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failing_seed_is_persisted() {
+        let dir = std::env::temp_dir().join(format!("pdgc-proptest-p-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let src_str = dir.join("persist.rs").to_string_lossy().into_owned();
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run_with_shrink(
+                ProptestConfig::with_cases(100),
+                &src_str,
+                &(0u64..10,),
+                |&(x,)| {
+                    prop_assert!(x < 9, "x was {}", x);
+                    Ok(())
+                },
+            );
+        });
+        assert!(result.is_err());
+        let corpus = dir.join("persist.proptest-regressions");
+        let body = std::fs::read_to_string(&corpus).expect("corpus written");
+        assert!(body.lines().any(|l| l.starts_with("cc ")), "{body}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }
