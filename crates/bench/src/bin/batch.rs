@@ -9,27 +9,31 @@
 //! exits non-zero if they diverge, so CI can gate on determinism.
 //!
 //! ```text
-//! cargo run --release -p pdgc-bench --bin batch -- --jobs 4 [--repeat 3]
+//! cargo run --release -p pdgc-bench --bin batch -- --jobs 4 [--repeat 3] [--target risc16]
 //! ```
 
 use pdgc_bench::batch::compare_jobs;
 use pdgc_bench::print_table;
 use pdgc_core::PreferenceAllocator;
-use pdgc_target::{PressureModel, TargetDesc};
+use pdgc_target::TargetRegistry;
 use pdgc_workloads::{generate, specjvm_suite, Workload};
 
-fn parse_flag(args: &[String], name: &str) -> Option<usize> {
+fn parse_str_flag(args: &[String], name: &str) -> Option<String> {
     let eq = format!("{name}=");
     let mut it = args.iter();
     while let Some(a) = it.next() {
         if a == name {
-            return it.next().and_then(|v| v.parse().ok());
+            return it.next().cloned();
         }
         if let Some(v) = a.strip_prefix(&eq) {
-            return v.parse().ok();
+            return Some(v.to_string());
         }
     }
     None
+}
+
+fn parse_flag(args: &[String], name: &str) -> Option<usize> {
+    parse_str_flag(args, name).and_then(|v| v.parse().ok())
 }
 
 fn main() {
@@ -38,10 +42,21 @@ fn main() {
         .or_else(|| std::thread::available_parallelism().ok().map(usize::from))
         .unwrap_or(1);
     let repeat = parse_flag(&args, "--repeat").unwrap_or(1).max(1);
+    let target_name = parse_str_flag(&args, "--target").unwrap_or_else(|| "ia64-24".to_string());
+    let registry = TargetRegistry::builtin();
+    let target = match registry.resolve(&target_name) {
+        Ok(t) => t.clone(),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
 
-    let workloads: Vec<Workload> = specjvm_suite().iter().map(generate).collect();
+    let workloads: Vec<Workload> = specjvm_suite()
+        .iter()
+        .map(|p| generate(&p.for_target(&target)))
+        .collect();
     let total_funcs: usize = workloads.iter().map(|w| w.funcs.len()).sum();
-    let target = TargetDesc::ia64_like(PressureModel::Middle);
     let alloc = PreferenceAllocator::full();
     println!(
         "batch bench: {total_funcs} functions x {repeat} repeat(s), target {}, jobs 1 vs {jobs}",

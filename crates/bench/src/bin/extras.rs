@@ -167,6 +167,8 @@ fn limited_usage() {
         byte_density: 0.45,
         pressure: 10,
         diamond_density: 0.2,
+        pair_stride: 8,
+        pair_align: 1,
     };
     let w = generate(&prof);
     println!("Limited register usage (x86-like byte registers, 24-register model)");

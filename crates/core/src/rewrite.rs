@@ -257,40 +257,26 @@ pub fn rewrite(
     }
 }
 
-/// Fuses adjacent `Load r1, [b+o]; Load r2, [b+o+8]` into a `LoadPair`
-/// when the destinations satisfy the target rule and the first destination
-/// is not the base (which the second load still reads).
+/// Fuses `Load r1, [b+o]; ...; Load r2, [b+o+stride]` into a `LoadPair`
+/// when the destinations satisfy the class's pair rule, the first
+/// destination is not the base (which the second load still reads), and
+/// the second load sits within the rule's scan window with nothing unsafe
+/// in between. Stride, alignment, and window all come from the target's
+/// per-class [`pdgc_target::PairRule`].
 fn fuse_paired_loads(block: &mut Vec<MInst>, target: &TargetDesc, stats: &mut AllocStats) {
     let mut i = 0;
-    while i + 1 < block.len() {
-        let fusable = match (&block[i], &block[i + 1]) {
-            (
+    while i < block.len() {
+        if let Some(j) = pair_partner(block, i, target) {
+            let (
                 MInst::Load {
                     dst: d1,
-                    base: b1,
+                    base,
                     offset: o1,
                 },
                 MInst::Load {
-                    dst: d2,
-                    base: b2,
-                    offset: o2,
+                    dst: d2, offset: o2, ..
                 },
-            ) => {
-                b1 == b2
-                    && *o2 == o1 + crate::rpg::PAIR_STRIDE
-                    && d1 != b1
-                    && target.paired_load.allows(*d1, *d2)
-            }
-            _ => false,
-        };
-        if fusable {
-            let (MInst::Load {
-                dst: d1,
-                base,
-                offset: o1,
-            }, MInst::Load {
-                dst: d2, offset: o2, ..
-            }) = (block[i].clone(), block[i + 1].clone())
+            ) = (block[i].clone(), block[j].clone())
             else {
                 unreachable!()
             };
@@ -301,10 +287,74 @@ fn fuse_paired_loads(block: &mut Vec<MInst>, target: &TargetDesc, stats: &mut Al
                 offset: o1,
                 offset2: o2,
             };
-            block.remove(i + 1);
+            block.remove(j);
             stats.paired_loads += 1;
         }
         i += 1;
+    }
+}
+
+/// Finds, within the class's scan window past the load at `i`, a later
+/// load this one can fuse with, and returns its index.
+///
+/// Fusing hoists the second load (its memory read and its write of `d2`)
+/// up to position `i`, so the scan stops at anything that could observe
+/// the difference: memory writes and calls, terminators, redefinitions of
+/// the base, and any instruction that reads or writes `d2`. Intervening
+/// defs or uses of `d1` are harmless — the first load already executes at
+/// position `i` either way.
+fn pair_partner(block: &[MInst], i: usize, target: &TargetDesc) -> Option<usize> {
+    let MInst::Load {
+        dst: d1,
+        base,
+        offset: o1,
+    } = block[i]
+    else {
+        return None;
+    };
+    let rule = *target.pair_rule(d1.class())?;
+    if d1 == base || !rule.aligned(o1) {
+        return None;
+    }
+    let want = o1 + rule.stride();
+    let end = block.len().min(i + 1 + rule.window());
+    for j in i + 1..end {
+        if let MInst::Load {
+            dst: d2,
+            base: b2,
+            offset: o2,
+        } = block[j]
+        {
+            // The first load matching the partner address decides the
+            // pair; scanning past it would reorder two reads of the
+            // same location.
+            if b2 == base && o2 == want {
+                let ok = d2 != d1
+                    && rule.allows(d1, d2)
+                    && block[i + 1..j].iter().all(|x| !x.regs().contains(&d2));
+                return ok.then_some(j);
+            }
+        }
+        if fusion_barrier(&block[j], base) {
+            return None;
+        }
+    }
+    None
+}
+
+/// Whether the second load of a pair may be hoisted past `inst`: memory
+/// writes, calls, terminators, and redefinitions of the pair's base all
+/// pin it in place.
+fn fusion_barrier(inst: &MInst, base: PhysReg) -> bool {
+    match inst {
+        MInst::Store { .. }
+        | MInst::SpillStore { .. }
+        | MInst::Call { .. }
+        | MInst::Jump { .. }
+        | MInst::Branch { .. }
+        | MInst::BranchImm { .. }
+        | MInst::Ret => true,
+        _ => inst.defs().contains(&base),
     }
 }
 
@@ -449,6 +499,104 @@ mod tests {
             &f,
             &[
                 (p, PhysReg::int(1)),
+                (x, PhysReg::int(1)),
+                (y, PhysReg::int(2)),
+                (s, PhysReg::int(0)),
+            ],
+        );
+        let mut stats = AllocStats::default();
+        let m = rewrite(&f, &a, &t, 0, &mut stats);
+        assert_eq!(m.num_paired_loads(), 0);
+    }
+
+    #[test]
+    fn interleaved_loads_fuse_within_the_window() {
+        // load x; arith; load y — the old adjacent-only scan missed
+        // this shape; the windowed scan fuses it.
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let x = b.load(p, 0);
+        let t1 = b.bin_imm(BinOp::Add, x, 3);
+        let y = b.load(p, 8);
+        let s = b.bin(BinOp::Add, t1, y);
+        b.ret(Some(s));
+        let f = b.finish();
+        let t = TargetDesc::ia64_like(PressureModel::High);
+        let a = assign_all(
+            &f,
+            &[
+                (p, PhysReg::int(0)),
+                (x, PhysReg::int(1)),
+                (t1, PhysReg::int(3)),
+                (y, PhysReg::int(2)),
+                (s, PhysReg::int(0)),
+            ],
+        );
+        let mut stats = AllocStats::default();
+        let m = rewrite(&f, &a, &t, 0, &mut stats);
+        assert_eq!(stats.paired_loads, 1);
+        assert_eq!(m.num_paired_loads(), 1);
+
+        // With a window of 1 (adjacent only) the same code must not fuse.
+        use pdgc_target::{ClassSpec, PairRule, PairedLoadRule};
+        let spec = || {
+            ClassSpec::new(16)
+                .volatile_prefix(8)
+                .pair(PairRule::new(PairedLoadRule::Parity, 8).with_window(1))
+        };
+        let adjacent_only = TargetDesc::builder("adjacent")
+            .class(RegClass::Int, spec())
+            .class(RegClass::Float, spec())
+            .finish()
+            .unwrap();
+        let mut stats2 = AllocStats::default();
+        let m2 = rewrite(&f, &a, &adjacent_only, 0, &mut stats2);
+        assert_eq!(stats2.paired_loads, 0);
+        assert_eq!(m2.num_paired_loads(), 0);
+    }
+
+    #[test]
+    fn window_fusion_blocked_by_d2_mention_and_barriers() {
+        let t = TargetDesc::ia64_like(PressureModel::High);
+        // An intervening use of the second destination blocks fusion:
+        // hoisting y's write would clobber the value the use reads.
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let x = b.load(p, 0);
+        let t1 = b.bin_imm(BinOp::Add, x, 1);
+        let y = b.load(p, 8);
+        let s = b.bin(BinOp::Add, t1, y);
+        b.ret(Some(s));
+        let f = b.finish();
+        // t1 lands on the register y will occupy — the intervening inst
+        // mentions d2, so the pair must not form.
+        let a = assign_all(
+            &f,
+            &[
+                (p, PhysReg::int(0)),
+                (x, PhysReg::int(1)),
+                (t1, PhysReg::int(2)), // = d2!
+                (y, PhysReg::int(2)),
+                (s, PhysReg::int(0)),
+            ],
+        );
+        let mut stats = AllocStats::default();
+        let m = rewrite(&f, &a, &t, 0, &mut stats);
+        assert_eq!(m.num_paired_loads(), 0);
+
+        // A store between the loads is a memory barrier.
+        let mut b = FunctionBuilder::new("g", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let x = b.load(p, 0);
+        b.store(x, p, 1 << 20);
+        let y = b.load(p, 8);
+        let s = b.bin(BinOp::Add, x, y);
+        b.ret(Some(s));
+        let f = b.finish();
+        let a = assign_all(
+            &f,
+            &[
+                (p, PhysReg::int(0)),
                 (x, PhysReg::int(1)),
                 (y, PhysReg::int(2)),
                 (s, PhysReg::int(0)),

@@ -182,13 +182,14 @@ pub struct LoadPairCandidate {
     pub dst2: VReg,
 }
 
-/// The address stride between the two words of a paired load.
-pub const PAIR_STRIDE: i32 = 8;
-
 /// Finds paired-load candidates: two loads in one block from `base+o` and
-/// `base+o+8`, with no intervening redefinition of the base or first
+/// `base+o+stride`, with no intervening redefinition of the base or first
 /// destination, store, or call. Each load joins at most one candidate.
-pub fn find_load_pairs(func: &Function) -> Vec<LoadPairCandidate> {
+///
+/// The stride and the first word's alignment come from the target's
+/// per-class [`PairRule`](pdgc_target::PairRule); a class without a pair
+/// rule contributes no candidates.
+pub fn find_load_pairs(func: &Function, target: &TargetDesc) -> Vec<LoadPairCandidate> {
     let mut out = Vec::new();
     for b in func.block_ids() {
         let insts = &func.block(b).insts;
@@ -200,6 +201,12 @@ pub fn find_load_pairs(func: &Function) -> Vec<LoadPairCandidate> {
             let Inst::Load { dst, base, offset } = insts[i] else {
                 continue;
             };
+            let Some(rule) = target.pair_rule(func.class_of(dst)) else {
+                continue;
+            };
+            if !rule.aligned(offset) {
+                continue;
+            }
             'scan: for (j, cand) in insts.iter().enumerate().skip(i + 1) {
                 if used[j] {
                     continue;
@@ -210,7 +217,7 @@ pub fn find_load_pairs(func: &Function) -> Vec<LoadPairCandidate> {
                         base: base2,
                         offset: offset2,
                     } if *base2 == base
-                        && *offset2 == offset + PAIR_STRIDE
+                        && *offset2 == offset + rule.stride()
                         && *dst2 != dst
                         && func.class_of(*dst2) == func.class_of(dst) =>
                     {
@@ -297,7 +304,7 @@ pub fn build_rpg(
     }
 
     if prefs.sequential {
-        for pair in find_load_pairs(func) {
+        for pair in find_load_pairs(func, target) {
             let (Some(n1), Some(n2)) = (nodes.node_of(pair.dst1), nodes.node_of(pair.dst2))
             else {
                 continue;
@@ -333,7 +340,7 @@ pub fn build_rpg(
     }
 
     if prefs.limited {
-        if let Some(nbytes) = target.class(nodes.class()).byte_regs {
+        if let Some(nbytes) = target.class(nodes.class()).byte_regs() {
             // Collect byte-load destinations with their total frequency-
             // weighted extension saving (one cycle per dishonored load).
             let mut savings: Vec<(NodeId, VReg, i64)> = Vec::new();
@@ -425,6 +432,24 @@ mod tests {
     use pdgc_analysis::{Cfg, DefUse, Dominators, Liveness, Loops};
     use pdgc_ir::{FunctionBuilder, RegClass};
 
+    /// A stride-8 paper-like target for the detection tests.
+    fn t8() -> TargetDesc {
+        TargetDesc::toy(8)
+    }
+
+    /// A target whose integer pairs are aligned stride-16 quadwords.
+    fn t16() -> TargetDesc {
+        use pdgc_target::{ClassSpec, PairRule, PairedLoadRule};
+        TargetDesc::builder("stride16")
+            .class(
+                RegClass::Int,
+                ClassSpec::new(8).pair(PairRule::new(PairedLoadRule::Parity, 16).with_align(16)),
+            )
+            .class(RegClass::Float, ClassSpec::new(8))
+            .finish()
+            .unwrap()
+    }
+
     #[test]
     fn load_pair_detection_basic() {
         let mut b = FunctionBuilder::new("f", vec![RegClass::Int], None);
@@ -435,10 +460,68 @@ mod tests {
         b.store(c, p, 72);
         b.ret(None);
         let f = b.finish();
-        let pairs = find_load_pairs(&f);
+        let pairs = find_load_pairs(&f, &t8());
         assert_eq!(pairs.len(), 1);
         assert_eq!(pairs[0].dst1, a);
         assert_eq!(pairs[0].dst2, c);
+    }
+
+    #[test]
+    fn stride_comes_from_the_target_rule() {
+        // Loads 16 bytes apart: no candidate on a stride-8 target, one
+        // on the stride-16 target.
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], None);
+        let p = b.param(0);
+        let a = b.load(p, 0);
+        let c = b.load(p, 16);
+        b.store(a, p, 1 << 20);
+        b.store(c, p, (1 << 20) + 8);
+        b.ret(None);
+        let f = b.finish();
+        assert!(find_load_pairs(&f, &t8()).is_empty());
+        let pairs = find_load_pairs(&f, &t16());
+        assert_eq!(pairs.len(), 1);
+        assert_eq!(pairs[0].dst1, a);
+        assert_eq!(pairs[0].dst2, c);
+    }
+
+    #[test]
+    fn alignment_gates_the_first_word() {
+        // The quadword rule of t16 requires the first offset to be a
+        // multiple of 16; offset 8 cannot start a pair.
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], None);
+        let p = b.param(0);
+        let a = b.load(p, 8);
+        let c = b.load(p, 24);
+        b.store(a, p, 1 << 20);
+        b.store(c, p, (1 << 20) + 8);
+        b.ret(None);
+        let f = b.finish();
+        assert!(find_load_pairs(&f, &t16()).is_empty());
+    }
+
+    #[test]
+    fn class_without_pair_rule_has_no_candidates() {
+        // t16 gives floats no pair rule at all.
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], None);
+        let p = b.param(0);
+        let a = b.fload(p, 0);
+        let c = b.fload(p, 16);
+        b.store(a, p, 1 << 20);
+        b.store(c, p, (1 << 20) + 8);
+        b.ret(None);
+        let f = b.finish();
+        assert!(find_load_pairs(&f, &t16()).is_empty());
+        // On the paper-like target the same floats pair at stride 8.
+        let mut b = FunctionBuilder::new("g", vec![RegClass::Int], None);
+        let p = b.param(0);
+        let a = b.fload(p, 0);
+        let c = b.fload(p, 8);
+        b.store(a, p, 1 << 20);
+        b.store(c, p, (1 << 20) + 8);
+        b.ret(None);
+        let f = b.finish();
+        assert_eq!(find_load_pairs(&f, &t8()).len(), 1);
     }
 
     #[test]
@@ -451,7 +534,7 @@ mod tests {
         b.store(c, p, 72);
         b.ret(None);
         let f = b.finish();
-        assert!(find_load_pairs(&f).is_empty());
+        assert!(find_load_pairs(&f, &t8()).is_empty());
 
         let mut b = FunctionBuilder::new("g", vec![RegClass::Int], None);
         let p = b.param(0);
@@ -462,7 +545,7 @@ mod tests {
         b.store(s, p, 64);
         b.ret(None);
         let f = b.finish();
-        assert!(find_load_pairs(&f).is_empty());
+        assert!(find_load_pairs(&f, &t8()).is_empty());
     }
 
     #[test]
@@ -483,7 +566,7 @@ mod tests {
         b.store(s, p, 64);
         b.ret(None);
         let f = b.finish();
-        assert!(find_load_pairs(&f).is_empty());
+        assert!(find_load_pairs(&f, &t8()).is_empty());
     }
 
     #[test]
@@ -496,7 +579,7 @@ mod tests {
         b.store(s, p, 64);
         b.ret(None);
         let f = b.finish();
-        assert!(find_load_pairs(&f).is_empty());
+        assert!(find_load_pairs(&f, &t8()).is_empty());
     }
 
     #[test]

@@ -280,12 +280,12 @@ impl Selector<'_> {
                         PrefKind::SequentialPlus => avail
                             .iter()
                             .copied()
-                            .filter(|&r| self.target.paired_load.allows(r, partner))
+                            .filter(|&r| self.target.pair_allows(r, partner))
                             .collect(),
                         PrefKind::SequentialMinus => avail
                             .iter()
                             .copied()
-                            .filter(|&r| self.target.paired_load.allows(partner, r))
+                            .filter(|&r| self.target.pair_allows(partner, r))
                             .collect(),
                         PrefKind::Prefers => Vec::new(),
                     }
@@ -336,8 +336,8 @@ impl Selector<'_> {
                 let partner = self.assignment[m.index()]?; // deferred (2.2)
                 match pref.kind {
                     PrefKind::Coalesce => r == partner,
-                    PrefKind::SequentialPlus => self.target.paired_load.allows(r, partner),
-                    PrefKind::SequentialMinus => self.target.paired_load.allows(partner, r),
+                    PrefKind::SequentialPlus => self.target.pair_allows(r, partner),
+                    PrefKind::SequentialMinus => self.target.pair_allows(partner, r),
                     PrefKind::Prefers => false,
                 }
             }
@@ -665,8 +665,8 @@ impl Selector<'_> {
                         s != r
                             && !partner_blocked.contains(&s)
                             && match pref.kind {
-                                PrefKind::SequentialPlus => self.target.paired_load.allows(r, s),
-                                _ => self.target.paired_load.allows(s, r),
+                                PrefKind::SequentialPlus => self.target.pair_allows(r, s),
+                                _ => self.target.pair_allows(s, r),
                             }
                     })
                 }
@@ -909,6 +909,6 @@ mod tests {
         let r = run_select(&mut g, &nm, &rpg, SelectConfig::default());
         let (a, b) = (r.assignment[4].unwrap(), r.assignment[5].unwrap());
         // figure7 uses the different-parity rule.
-        assert!(TargetDesc::figure7().paired_load.allows(a, b));
+        assert!(TargetDesc::figure7().pair_allows(a, b));
     }
 }

@@ -1,0 +1,288 @@
+//! The target builder: the validated way to construct a
+//! [`TargetDesc`].
+//!
+//! The builder makes the old unchecked-index bug class unrepresentable:
+//! [`TargetBuilder::finish`] refuses to produce a description unless
+//! every [`RegClass`] has been described, and every per-class parameter
+//! (volatile mask, byte prefix, pair rule, register names) is validated
+//! against the file size before a [`TargetDesc`] exists at all.
+
+use crate::error::TargetError;
+use crate::{ClassDesc, PairRule, PhysReg, TargetDesc};
+use pdgc_ir::RegClass;
+
+/// The largest register file a class may carry: the volatile set is a
+/// 64-bit mask.
+pub const MAX_REGS: usize = 64;
+
+/// Per-class input to the [`TargetBuilder`]: file size plus the optional
+/// irregularities.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ClassSpec {
+    num_regs: usize,
+    volatile_mask: Option<u64>,
+    byte_regs: Option<u8>,
+    pair: Option<PairRule>,
+    reg_names: Vec<String>,
+}
+
+impl ClassSpec {
+    /// A class with `num_regs` registers. Until overridden, the lower
+    /// half of the file (at least one register) is volatile, there is no
+    /// byte restriction, no paired load, and no register names.
+    pub fn new(num_regs: usize) -> ClassSpec {
+        ClassSpec {
+            num_regs,
+            volatile_mask: None,
+            byte_regs: None,
+            pair: None,
+            reg_names: Vec::new(),
+        }
+    }
+
+    /// Marks registers `0..n` volatile (caller-saved) and the rest
+    /// non-volatile — the prefix convention every shipped target uses.
+    pub fn volatile_prefix(self, n: usize) -> ClassSpec {
+        // A prefix of n ones; n is validated against the file size in
+        // `finish`, where the class is known.
+        let mask = match n {
+            0 => 0,
+            n if n >= 64 => u64::MAX,
+            n => (1u64 << n) - 1,
+        };
+        self.volatile_mask(mask)
+    }
+
+    /// Marks exactly the registers in `mask` (bit `i` ⇔ register `i`)
+    /// volatile, for targets whose caller-saved set is not a prefix.
+    pub fn volatile_mask(mut self, mask: u64) -> ClassSpec {
+        self.volatile_mask = Some(mask);
+        self
+    }
+
+    /// Restricts byte operations to registers `0..n` (the paper's
+    /// limited register usage).
+    pub fn byte_regs(mut self, n: u8) -> ClassSpec {
+        self.byte_regs = Some(n);
+        self
+    }
+
+    /// Gives the class a paired-load instruction governed by `rule`.
+    pub fn pair(mut self, rule: PairRule) -> ClassSpec {
+        self.pair = Some(rule);
+        self
+    }
+
+    /// Names the class's registers, index order; the count must match
+    /// the file size.
+    pub fn named<S: Into<String>>(mut self, names: impl IntoIterator<Item = S>) -> ClassSpec {
+        self.reg_names = names.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Validates the spec for `class` and produces the immutable
+    /// description.
+    fn build(self, class: RegClass) -> Result<ClassDesc, TargetError> {
+        if self.num_regs == 0 {
+            return Err(TargetError::NoRegisters(class));
+        }
+        if self.num_regs > MAX_REGS {
+            return Err(TargetError::TooManyRegs {
+                class,
+                num_regs: self.num_regs,
+                max: MAX_REGS,
+            });
+        }
+        let file_mask = if self.num_regs >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.num_regs) - 1
+        };
+        let volatile_mask = self
+            .volatile_mask
+            .unwrap_or_else(|| match (self.num_regs / 2).max(1) {
+                64 => u64::MAX,
+                n => (1u64 << n) - 1,
+            });
+        if volatile_mask & !file_mask != 0 {
+            return Err(TargetError::VolatileOutOfRange(class));
+        }
+        if volatile_mask == 0 {
+            return Err(TargetError::NoVolatiles(class));
+        }
+        if let Some(n) = self.byte_regs {
+            if n as usize > self.num_regs {
+                return Err(TargetError::ByteRegsOutOfRange(class));
+            }
+        }
+        if let Some(rule) = &self.pair {
+            if rule.stride() <= 0 || rule.alignment() <= 0 || rule.window() == 0 {
+                return Err(TargetError::BadPairRule(class));
+            }
+        }
+        if !self.reg_names.is_empty() && self.reg_names.len() != self.num_regs {
+            return Err(TargetError::NameCountMismatch {
+                class,
+                names: self.reg_names.len(),
+                num_regs: self.num_regs,
+            });
+        }
+        Ok(ClassDesc {
+            num_regs: self.num_regs,
+            volatile_mask,
+            byte_regs: self.byte_regs,
+            pair: self.pair,
+            reg_names: self.reg_names,
+        })
+    }
+}
+
+/// Accumulates per-class specs and ABI parameters, then validates the
+/// whole description at once.
+#[derive(Clone, Debug)]
+pub struct TargetBuilder {
+    name: String,
+    div_reg: Option<PhysReg>,
+    classes: Vec<Option<ClassSpec>>,
+}
+
+impl TargetBuilder {
+    /// Starts a builder for a target named `name`.
+    pub fn new(name: impl Into<String>) -> TargetBuilder {
+        TargetBuilder {
+            name: name.into(),
+            div_reg: None,
+            classes: vec![None; RegClass::ALL.len()],
+        }
+    }
+
+    /// Describes one register class (replacing any earlier description
+    /// of the same class).
+    pub fn class(mut self, class: RegClass, spec: ClassSpec) -> TargetBuilder {
+        self.classes[class.index()] = Some(spec);
+        self
+    }
+
+    /// Pins integer division results to a dedicated register.
+    pub fn div_reg(mut self, reg: PhysReg) -> TargetBuilder {
+        self.div_reg = Some(reg);
+        self
+    }
+
+    /// Validates everything and produces the description. Fails with a
+    /// typed [`TargetError`] when a class is missing or any per-class
+    /// parameter is inconsistent with its file.
+    pub fn finish(self) -> Result<TargetDesc, TargetError> {
+        let mut classes = Vec::with_capacity(RegClass::ALL.len());
+        for (class, spec) in RegClass::ALL.into_iter().zip(self.classes) {
+            let spec = spec.ok_or(TargetError::MissingClass(class))?;
+            classes.push(spec.build(class)?);
+        }
+        if let Some(div) = self.div_reg {
+            if div.index() >= classes[div.class().index()].num_regs {
+                return Err(TargetError::DivRegOutOfRange);
+            }
+        }
+        Ok(TargetDesc {
+            name: self.name,
+            div_reg: self.div_reg,
+            classes,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PairedLoadRule;
+
+    fn both(spec: impl Fn() -> ClassSpec) -> TargetBuilder {
+        TargetBuilder::new("t")
+            .class(RegClass::Int, spec())
+            .class(RegClass::Float, spec())
+    }
+
+    #[test]
+    fn missing_class_is_a_typed_error() {
+        let err = TargetBuilder::new("t")
+            .class(RegClass::Int, ClassSpec::new(8))
+            .finish()
+            .unwrap_err();
+        assert_eq!(err, TargetError::MissingClass(RegClass::Float));
+    }
+
+    #[test]
+    fn empty_and_oversized_files_rejected() {
+        let err = both(|| ClassSpec::new(0)).finish().unwrap_err();
+        assert_eq!(err, TargetError::NoRegisters(RegClass::Int));
+        let err = both(|| ClassSpec::new(65)).finish().unwrap_err();
+        assert!(matches!(err, TargetError::TooManyRegs { num_regs: 65, .. }));
+        assert!(both(|| ClassSpec::new(64)).finish().is_ok());
+    }
+
+    #[test]
+    fn volatile_mask_validated_against_the_file() {
+        let err = both(|| ClassSpec::new(4).volatile_mask(0x10))
+            .finish()
+            .unwrap_err();
+        assert_eq!(err, TargetError::VolatileOutOfRange(RegClass::Int));
+        let err = both(|| ClassSpec::new(4).volatile_mask(0))
+            .finish()
+            .unwrap_err();
+        assert_eq!(err, TargetError::NoVolatiles(RegClass::Int));
+        // A non-prefix mask is fine: volatiles are r0 and r2.
+        let t = both(|| ClassSpec::new(4).volatile_mask(0b0101))
+            .finish()
+            .unwrap();
+        assert!(t.is_volatile(PhysReg::int(0)));
+        assert!(!t.is_volatile(PhysReg::int(1)));
+        assert!(t.is_volatile(PhysReg::int(2)));
+        assert_eq!(t.arg_reg(RegClass::Int, 1), Some(PhysReg::int(2)));
+        assert_eq!(t.ret_reg(RegClass::Int), PhysReg::int(0));
+    }
+
+    #[test]
+    fn byte_prefix_and_pair_rule_validated() {
+        let err = both(|| ClassSpec::new(4).byte_regs(5)).finish().unwrap_err();
+        assert_eq!(err, TargetError::ByteRegsOutOfRange(RegClass::Int));
+        let bad = PairRule::new(PairedLoadRule::Parity, 0);
+        let err = both(|| ClassSpec::new(4).pair(bad)).finish().unwrap_err();
+        assert_eq!(err, TargetError::BadPairRule(RegClass::Int));
+        let bad = PairRule::new(PairedLoadRule::Parity, 8).with_window(0);
+        let err = both(|| ClassSpec::new(4).pair(bad)).finish().unwrap_err();
+        assert_eq!(err, TargetError::BadPairRule(RegClass::Int));
+    }
+
+    #[test]
+    fn name_count_must_match_file_size() {
+        let err = both(|| ClassSpec::new(4).named(["a", "b"])).finish().unwrap_err();
+        assert!(matches!(
+            err,
+            TargetError::NameCountMismatch {
+                names: 2,
+                num_regs: 4,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn div_reg_must_sit_in_its_file() {
+        let err = both(|| ClassSpec::new(4))
+            .div_reg(PhysReg::int(4))
+            .finish()
+            .unwrap_err();
+        assert_eq!(err, TargetError::DivRegOutOfRange);
+        let t = both(|| ClassSpec::new(4)).div_reg(PhysReg::int(3)).finish().unwrap();
+        assert_eq!(t.div_reg, Some(PhysReg::int(3)));
+    }
+
+    #[test]
+    fn default_volatile_split_is_the_lower_half() {
+        let t = both(|| ClassSpec::new(8)).finish().unwrap();
+        assert_eq!(t.volatiles(RegClass::Int).count(), 4);
+        // A single-register file still gets its one volatile.
+        let t = both(|| ClassSpec::new(1)).finish().unwrap();
+        assert_eq!(t.volatiles(RegClass::Int).count(), 1);
+    }
+}

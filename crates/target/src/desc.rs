@@ -1,96 +1,142 @@
 //! Target descriptions: register files, calling convention, and the
 //! irregularities the paper's preferences exploit.
+//!
+//! A [`TargetDesc`] is built through [`TargetBuilder`](crate::TargetBuilder)
+//! (see `builder.rs`), which validates every class and makes a missing
+//! class unrepresentable: a finished description always carries one
+//! [`ClassDesc`] per [`RegClass`]. Ready-made descriptions for the paper's
+//! evaluation machines live on the inherent constructors below and in the
+//! [`TargetRegistry`](crate::TargetRegistry).
 
-use crate::{PairedLoadRule, PhysReg, PressureModel};
+use crate::error::TargetError;
+use crate::{PairRule, PairedLoadRule, PhysReg, PressureModel};
 use pdgc_ir::RegClass;
 
 /// Per-class register-file description.
+///
+/// Fields are private and validated by the builder; the accessors below
+/// are the only way to observe them, so every published `ClassDesc` is
+/// internally consistent (volatile mask within the file, byte prefix
+/// within the file, positive pair stride).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct ClassDesc {
+    pub(crate) num_regs: usize,
+    /// Bit `i` set ⇔ register `i` is volatile (caller-saved).
+    pub(crate) volatile_mask: u64,
+    /// When `Some(n)`, only registers `0..n` are byte-capable (the
+    /// paper's §3.1 limited-register-usage example).
+    pub(crate) byte_regs: Option<u8>,
+    /// How this class fuses paired loads; `None` means the class has no
+    /// paired-load instruction at all.
+    pub(crate) pair: Option<PairRule>,
+    /// Optional register names (empty ⇒ the default `r{i}`/`f{i}`).
+    pub(crate) reg_names: Vec<String>,
+}
+
+impl ClassDesc {
     /// Registers in the file.
-    pub num_regs: usize,
-    /// Volatile (caller-saved) registers: indices `0..num_volatile`.
-    /// The rest, `num_volatile..num_regs`, are non-volatile
-    /// (callee-saved).
-    pub num_volatile: usize,
-    /// Limited register usage (the paper's §3.1 x86 example): when
-    /// `Some(n)`, only registers `0..n` are byte-capable; `None` means
-    /// no restriction.
-    pub byte_regs: Option<u8>,
+    pub fn num_regs(&self) -> usize {
+        self.num_regs
+    }
+
+    /// How many registers are volatile (caller-saved).
+    pub fn num_volatile(&self) -> usize {
+        self.volatile_mask.count_ones() as usize
+    }
+
+    /// Whether register `i` is volatile.
+    pub fn is_volatile(&self, i: usize) -> bool {
+        i < 64 && self.volatile_mask & (1 << i) != 0
+    }
+
+    /// Limited register usage: when `Some(n)`, only registers `0..n` are
+    /// byte-capable; `None` means no restriction.
+    pub fn byte_regs(&self) -> Option<u8> {
+        self.byte_regs
+    }
+
+    /// The class's paired-load rule, or `None` when it has no paired
+    /// load.
+    pub fn pair(&self) -> Option<&PairRule> {
+        self.pair.as_ref()
+    }
+
+    /// The name of register `i`, when the target names its registers.
+    pub fn reg_name(&self, i: usize) -> Option<&str> {
+        self.reg_names.get(i).map(String::as_str)
+    }
 }
 
 /// A target and its ABI: one register file per class, a
 /// volatile/non-volatile split, argument and return registers, an
-/// optional dedicated division register, and the paired-load rule.
+/// optional dedicated division register, and per-class paired-load rules.
 ///
 /// The convention is uniform across the modelled targets: arguments are
 /// passed in the volatile registers in index order (per class), and
-/// results return in register 0 of the result's class.
+/// results return in the lowest-indexed volatile register of the result's
+/// class (register 0 on every shipped target).
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct TargetDesc {
-    /// Target name, as accepted by the CLI (e.g. `ia64-16`).
+    /// Target name, as accepted by the CLI (e.g. `ia64-24`).
     pub name: String,
-    /// Destination constraint for fused paired loads.
-    pub paired_load: PairedLoadRule,
     /// Dedicated division register (the paper's x86 example of a
     /// dedicated-register operation): when `Some`, integer `div`
     /// results are pinned to it.
     pub div_reg: Option<PhysReg>,
-    classes: [ClassDesc; 2],
+    pub(crate) classes: Vec<ClassDesc>,
 }
 
 impl TargetDesc {
-    /// An IA-64-like target: parity-paired loads, no byte restriction,
-    /// no dedicated registers, file size per `model`.
+    /// Starts a builder for a target named `name`.
+    pub fn builder(name: impl Into<String>) -> crate::TargetBuilder {
+        crate::TargetBuilder::new(name)
+    }
+
+    /// An IA-64-like target: parity-paired loads at stride 8, no byte
+    /// restriction, no dedicated registers, file size per `model`.
     pub fn ia64_like(model: PressureModel) -> TargetDesc {
-        let class = ClassDesc {
-            num_regs: model.num_regs(),
-            num_volatile: model.num_volatile(),
-            byte_regs: None,
+        let spec = || {
+            crate::ClassSpec::new(model.num_regs())
+                .volatile_prefix(model.num_volatile())
+                .pair(PairRule::new(PairedLoadRule::Parity, 8))
         };
-        TargetDesc {
-            name: format!("ia64-{}", model.num_regs()),
-            paired_load: PairedLoadRule::Parity,
-            div_reg: None,
-            classes: [class.clone(), class],
-        }
+        TargetDesc::builder(format!("ia64-{}", model.num_regs()))
+            .class(RegClass::Int, spec())
+            .class(RegClass::Float, spec())
+            .finish()
+            .expect("ia64-like description is statically valid")
     }
 
     /// An x86-like target: only the first four integer registers are
     /// byte-capable, division results are pinned to `r0` (rax-style),
     /// and paired loads require sequential destinations.
     pub fn x86_like(model: PressureModel) -> TargetDesc {
-        let int = ClassDesc {
-            num_regs: model.num_regs(),
-            num_volatile: model.num_volatile(),
-            byte_regs: Some(4),
+        let spec = || {
+            crate::ClassSpec::new(model.num_regs())
+                .volatile_prefix(model.num_volatile())
+                .pair(PairRule::new(PairedLoadRule::Sequential, 8))
         };
-        let float = ClassDesc {
-            byte_regs: None,
-            ..int.clone()
-        };
-        TargetDesc {
-            name: format!("x86-{}", model.num_regs()),
-            paired_load: PairedLoadRule::Sequential,
-            div_reg: Some(PhysReg::int(0)),
-            classes: [int, float],
-        }
+        TargetDesc::builder(format!("x86-{}", model.num_regs()))
+            .class(RegClass::Int, spec().byte_regs(4))
+            .class(RegClass::Float, spec())
+            .div_reg(PhysReg::int(0))
+            .finish()
+            .expect("x86-like description is statically valid")
     }
 
     /// A tiny regular target with `n` registers per class, the first
     /// `n / 2` volatile — for unit tests that need controlled pressure.
     pub fn toy(n: u8) -> TargetDesc {
-        let class = ClassDesc {
-            num_regs: n as usize,
-            num_volatile: n as usize / 2,
-            byte_regs: None,
+        let spec = || {
+            crate::ClassSpec::new(n as usize)
+                .volatile_prefix((n as usize / 2).max(1))
+                .pair(PairRule::new(PairedLoadRule::Parity, 8))
         };
-        TargetDesc {
-            name: format!("toy-{n}"),
-            paired_load: PairedLoadRule::Parity,
-            div_reg: None,
-            classes: [class.clone(), class],
-        }
+        TargetDesc::builder(format!("toy-{n}"))
+            .class(RegClass::Int, spec())
+            .class(RegClass::Float, spec())
+            .finish()
+            .expect("toy description is statically valid")
     }
 
     /// The three-register machine of the paper's Figure 7: `r0` is the
@@ -99,22 +145,91 @@ impl TargetDesc {
     /// follow the different-parity rule. (The paper numbers these
     /// r1/r2/r3; we index from zero.)
     pub fn figure7() -> TargetDesc {
-        let class = ClassDesc {
-            num_regs: 3,
-            num_volatile: 2,
-            byte_regs: None,
+        let spec = || {
+            crate::ClassSpec::new(3)
+                .volatile_prefix(2)
+                .pair(PairRule::new(PairedLoadRule::Parity, 8))
         };
-        TargetDesc {
-            name: "figure7".to_string(),
-            paired_load: PairedLoadRule::Parity,
-            div_reg: None,
-            classes: [class.clone(), class],
-        }
+        TargetDesc::builder("figure7")
+            .class(RegClass::Int, spec())
+            .class(RegClass::Float, spec())
+            .finish()
+            .expect("figure7 description is statically valid")
+    }
+
+    /// A 16-register RISC-like target with MIPS-flavoured register
+    /// names: `a0..a5` volatile (argument) registers, `s0..s9`
+    /// callee-saved. Paired loads write a sequential register pair and
+    /// fuse quadword-aligned stride-16 accesses.
+    pub fn risc16() -> TargetDesc {
+        let int_names: Vec<String> = (0..6)
+            .map(|i| format!("a{i}"))
+            .chain((0..10).map(|i| format!("s{i}")))
+            .collect();
+        let float_names: Vec<String> = (0..16).map(|i| format!("fa{i}")).collect();
+        let spec = || {
+            crate::ClassSpec::new(16)
+                .volatile_prefix(6)
+                .pair(PairRule::new(PairedLoadRule::Sequential, 16).with_align(16))
+        };
+        TargetDesc::builder("risc16")
+            .class(RegClass::Int, spec().named(int_names))
+            .class(RegClass::Float, spec().named(float_names))
+            .finish()
+            .expect("risc16 description is statically valid")
+    }
+
+    /// A constrained 8-register high-pressure target: half the file
+    /// volatile, only the first two integer registers byte-capable,
+    /// division pinned to `r0`, parity-paired integer loads — and no
+    /// paired load at all in the float file.
+    pub fn tight8() -> TargetDesc {
+        TargetDesc::builder("tight8")
+            .class(
+                RegClass::Int,
+                crate::ClassSpec::new(8)
+                    .volatile_prefix(4)
+                    .byte_regs(2)
+                    .pair(PairRule::new(PairedLoadRule::Parity, 8)),
+            )
+            .class(RegClass::Float, crate::ClassSpec::new(8).volatile_prefix(4))
+            .div_reg(PhysReg::int(0))
+            .finish()
+            .expect("tight8 description is statically valid")
     }
 
     /// The register-file description of `class`.
+    ///
+    /// Builder-made descriptions always carry every class, so this
+    /// cannot fail for them; [`TargetDesc::try_class`] is the fallible
+    /// spelling.
     pub fn class(&self, class: RegClass) -> &ClassDesc {
-        &self.classes[class.index()]
+        self.try_class(class)
+            .expect("builder-made targets describe every register class")
+    }
+
+    /// The register-file description of `class`, or a typed error when
+    /// the description carries none.
+    pub fn try_class(&self, class: RegClass) -> Result<&ClassDesc, TargetError> {
+        self.classes
+            .get(class.index())
+            .ok_or(TargetError::UnknownClass(class))
+    }
+
+    /// The paired-load rule of `class`, or `None` when the class has no
+    /// paired load.
+    pub fn pair_rule(&self, class: RegClass) -> Option<&PairRule> {
+        self.class(class).pair()
+    }
+
+    /// Whether a paired load may write its first word to `dst1` and its
+    /// second to `dst2` on this target: the destinations' class must
+    /// have a pair rule, and the rule must admit the pair.
+    pub fn pair_allows(&self, dst1: PhysReg, dst2: PhysReg) -> bool {
+        dst1.class() == dst2.class()
+            && self
+                .pair_rule(dst1.class())
+                .is_some_and(|r| r.allows(dst1, dst2))
     }
 
     /// Registers in `class`'s file.
@@ -129,35 +244,45 @@ impl TargetDesc {
 
     /// Whether `reg` is volatile (caller-saved).
     pub fn is_volatile(&self, reg: PhysReg) -> bool {
-        reg.index() < self.class(reg.class()).num_volatile
+        self.class(reg.class()).is_volatile(reg.index())
     }
 
     /// The volatile registers of `class`, in index order.
-    pub fn volatiles(&self, class: RegClass) -> impl Iterator<Item = PhysReg> {
-        (0..self.class(class).num_volatile).map(move |i| PhysReg::new(class, i as u8))
+    pub fn volatiles(&self, class: RegClass) -> impl Iterator<Item = PhysReg> + '_ {
+        let c = self.class(class);
+        (0..c.num_regs)
+            .filter(move |&i| c.is_volatile(i))
+            .map(move |i| PhysReg::new(class, i as u8))
     }
 
     /// The non-volatile registers of `class`, in index order.
-    pub fn nonvolatiles(&self, class: RegClass) -> impl Iterator<Item = PhysReg> {
+    pub fn nonvolatiles(&self, class: RegClass) -> impl Iterator<Item = PhysReg> + '_ {
         let c = self.class(class);
-        (c.num_volatile..c.num_regs).map(move |i| PhysReg::new(class, i as u8))
+        (0..c.num_regs)
+            .filter(move |&i| !c.is_volatile(i))
+            .map(move |i| PhysReg::new(class, i as u8))
     }
 
     /// The register carrying the `i`-th argument of `class` (per-class
-    /// indexing), or `None` when the convention runs out.
+    /// indexing): the `i`-th volatile register, or `None` when the
+    /// convention runs out.
     pub fn arg_reg(&self, class: RegClass, i: usize) -> Option<PhysReg> {
-        (i < self.num_arg_regs(class)).then(|| PhysReg::new(class, i as u8))
+        self.volatiles(class).nth(i)
     }
 
     /// How many arguments of `class` the convention can carry: all the
     /// class's volatile registers.
     pub fn num_arg_regs(&self, class: RegClass) -> usize {
-        self.class(class).num_volatile
+        self.class(class).num_volatile()
     }
 
-    /// The register in which a result of `class` is returned.
+    /// The register in which a result of `class` is returned: the
+    /// lowest-indexed volatile register (register 0 on every shipped
+    /// target; the builder guarantees at least one volatile exists).
     pub fn ret_reg(&self, class: RegClass) -> PhysReg {
-        PhysReg::new(class, 0)
+        self.volatiles(class)
+            .next()
+            .expect("builder guarantees at least one volatile register")
     }
 
     /// Whether a byte load may target `reg` without an explicit
@@ -173,6 +298,16 @@ impl TargetDesc {
     /// use (the paper's *limited register usage*).
     pub fn has_byte_restriction(&self, class: RegClass) -> bool {
         self.class(class).byte_regs.is_some()
+    }
+
+    /// The display name of `reg` on this target: the class's register
+    /// name when it has one, the default `r{i}`/`f{i}` spelling
+    /// otherwise.
+    pub fn reg_name(&self, reg: PhysReg) -> String {
+        match self.class(reg.class()).reg_name(reg.index()) {
+            Some(name) => name.to_string(),
+            None => reg.to_string(),
+        }
     }
 }
 
@@ -236,7 +371,7 @@ mod tests {
         }
         // Floats carry no byte restriction.
         assert!(!t.has_byte_restriction(RegClass::Float));
-        assert_eq!(t.class(RegClass::Int).byte_regs, Some(4));
+        assert_eq!(t.class(RegClass::Int).byte_regs(), Some(4));
     }
 
     #[test]
@@ -275,7 +410,9 @@ mod tests {
         assert_eq!(t.arg_reg(RegClass::Int, 1), Some(PhysReg::int(1)));
         assert_eq!(t.ret_reg(RegClass::Int), PhysReg::int(0));
         assert!(!t.is_volatile(PhysReg::int(2)));
-        assert_eq!(t.paired_load, PairedLoadRule::Parity);
+        let rule = t.pair_rule(RegClass::Int).unwrap();
+        assert_eq!(rule.dest(), PairedLoadRule::Parity);
+        assert_eq!(rule.stride(), 8);
     }
 
     #[test]
@@ -283,5 +420,47 @@ mod tests {
         assert_eq!(TargetDesc::ia64_like(PressureModel::High).name, "ia64-16");
         assert_eq!(TargetDesc::x86_like(PressureModel::Low).name, "x86-32");
         assert_eq!(TargetDesc::figure7().name, "figure7");
+    }
+
+    #[test]
+    fn pair_allows_consults_the_class_rule() {
+        let ia64 = TargetDesc::ia64_like(PressureModel::Middle);
+        assert!(ia64.pair_allows(PhysReg::int(2), PhysReg::int(1)));
+        assert!(!ia64.pair_allows(PhysReg::int(1), PhysReg::float(2)));
+        // tight8 pairs integers but has no float paired load at all.
+        let t8 = TargetDesc::tight8();
+        assert!(t8.pair_allows(PhysReg::int(1), PhysReg::int(2)));
+        assert!(!t8.pair_allows(PhysReg::float(1), PhysReg::float(2)));
+        assert!(t8.pair_rule(RegClass::Float).is_none());
+    }
+
+    #[test]
+    fn risc16_names_its_registers() {
+        let t = TargetDesc::risc16();
+        assert_eq!(t.reg_name(PhysReg::int(0)), "a0");
+        assert_eq!(t.reg_name(PhysReg::int(5)), "a5");
+        assert_eq!(t.reg_name(PhysReg::int(6)), "s0");
+        assert_eq!(t.reg_name(PhysReg::int(15)), "s9");
+        assert_eq!(t.reg_name(PhysReg::float(3)), "fa3");
+        // Volatiles are exactly the argument registers a0..a5.
+        assert_eq!(t.num_arg_regs(RegClass::Int), 6);
+        assert!(t.is_volatile(PhysReg::int(5)));
+        assert!(!t.is_volatile(PhysReg::int(6)));
+        // The pair rule asks for aligned stride-16 quadwords.
+        let rule = t.pair_rule(RegClass::Int).unwrap();
+        assert_eq!(rule.stride(), 16);
+        assert_eq!(rule.alignment(), 16);
+        // Unnamed targets fall back to the default spelling.
+        let ia64 = TargetDesc::ia64_like(PressureModel::Middle);
+        assert_eq!(ia64.reg_name(PhysReg::int(3)), "r3");
+    }
+
+    #[test]
+    fn tight8_is_small_and_restricted() {
+        let t = TargetDesc::tight8();
+        assert_eq!(t.num_regs(RegClass::Int), 8);
+        assert_eq!(t.volatiles(RegClass::Int).count(), 4);
+        assert_eq!(t.class(RegClass::Int).byte_regs(), Some(2));
+        assert_eq!(t.div_reg, Some(PhysReg::int(0)));
     }
 }

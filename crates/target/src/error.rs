@@ -1,0 +1,134 @@
+//! Typed errors for target construction and lookup.
+
+use pdgc_ir::RegClass;
+use std::fmt;
+
+/// What can go wrong while building a [`TargetDesc`](crate::TargetDesc)
+/// through the builder, registering it, or looking one up.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum TargetError {
+    /// The builder was finished without describing this register class.
+    MissingClass(RegClass),
+    /// The description carries no register file for this class (lookup
+    /// on a malformed description).
+    UnknownClass(RegClass),
+    /// A class was described with zero registers.
+    NoRegisters(RegClass),
+    /// A class was described with more registers than the volatile mask
+    /// can carry.
+    TooManyRegs {
+        /// The offending class.
+        class: RegClass,
+        /// The requested file size.
+        num_regs: usize,
+        /// The maximum representable file size.
+        max: usize,
+    },
+    /// A class has no volatile registers, so the convention has nowhere
+    /// to pass arguments or return results.
+    NoVolatiles(RegClass),
+    /// The volatile mask names registers outside the class's file.
+    VolatileOutOfRange(RegClass),
+    /// The byte-capable prefix is larger than the class's file.
+    ByteRegsOutOfRange(RegClass),
+    /// A pair rule with a non-positive stride, alignment, or window.
+    BadPairRule(RegClass),
+    /// Register names were given but their count does not match the
+    /// file size.
+    NameCountMismatch {
+        /// The offending class.
+        class: RegClass,
+        /// How many names were given.
+        names: usize,
+        /// The class's file size.
+        num_regs: usize,
+    },
+    /// The dedicated division register lies outside its class's file.
+    DivRegOutOfRange,
+    /// A target with this name is already registered.
+    DuplicateTarget(String),
+    /// No registered target has this name.
+    UnknownTarget {
+        /// The requested name.
+        name: String,
+        /// Every registered name, for the error message.
+        known: Vec<String>,
+    },
+}
+
+impl fmt::Display for TargetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TargetError::MissingClass(c) => {
+                write!(f, "register class {c:?} was never described")
+            }
+            TargetError::UnknownClass(c) => {
+                write!(f, "target carries no register file for class {c:?}")
+            }
+            TargetError::NoRegisters(c) => {
+                write!(f, "class {c:?} has zero registers")
+            }
+            TargetError::TooManyRegs {
+                class,
+                num_regs,
+                max,
+            } => write!(
+                f,
+                "class {class:?} asks for {num_regs} registers; at most {max} are representable"
+            ),
+            TargetError::NoVolatiles(c) => write!(
+                f,
+                "class {c:?} has no volatile registers; the convention needs at least one"
+            ),
+            TargetError::VolatileOutOfRange(c) => write!(
+                f,
+                "class {c:?} marks registers outside its file as volatile"
+            ),
+            TargetError::ByteRegsOutOfRange(c) => write!(
+                f,
+                "class {c:?} has a byte-capable prefix larger than its file"
+            ),
+            TargetError::BadPairRule(c) => write!(
+                f,
+                "class {c:?} has a pair rule with a non-positive stride, alignment, or window"
+            ),
+            TargetError::NameCountMismatch {
+                class,
+                names,
+                num_regs,
+            } => write!(
+                f,
+                "class {class:?} was given {names} register names for {num_regs} registers"
+            ),
+            TargetError::DivRegOutOfRange => {
+                write!(f, "the dedicated division register lies outside its class's file")
+            }
+            TargetError::DuplicateTarget(name) => {
+                write!(f, "a target named `{name}` is already registered")
+            }
+            TargetError::UnknownTarget { name, known } => {
+                write!(f, "unknown target `{name}`; registered targets: {}", known.join(", "))
+            }
+        }
+    }
+}
+
+impl std::error::Error for TargetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_class_and_target() {
+        let e = TargetError::MissingClass(RegClass::Float);
+        assert!(e.to_string().contains("Float"));
+        let e = TargetError::UnknownTarget {
+            name: "m68k".into(),
+            known: vec!["ia64-24".into(), "figure7".into()],
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("m68k"));
+        assert!(msg.contains("ia64-24, figure7"));
+    }
+}

@@ -189,6 +189,30 @@ impl MInst {
         }
     }
 
+    /// The registers this instruction writes. A `Call` additionally
+    /// clobbers every volatile register; only its named result is
+    /// listed here.
+    pub fn defs(&self) -> Vec<PhysReg> {
+        match self {
+            MInst::Copy { dst, .. }
+            | MInst::Iconst { dst, .. }
+            | MInst::Fconst { dst, .. }
+            | MInst::Load { dst, .. }
+            | MInst::Load8 { dst, .. }
+            | MInst::Bin { dst, .. }
+            | MInst::BinImm { dst, .. }
+            | MInst::SpillLoad { dst, .. } => vec![*dst],
+            MInst::LoadPair { dst1, dst2, .. } => vec![*dst1, *dst2],
+            MInst::Call { ret_reg, .. } => ret_reg.iter().copied().collect(),
+            MInst::Store { .. }
+            | MInst::SpillStore { .. }
+            | MInst::Jump { .. }
+            | MInst::Branch { .. }
+            | MInst::BranchImm { .. }
+            | MInst::Ret => vec![],
+        }
+    }
+
     /// Whether this instruction moves a value between a register and a
     /// frame slot (spill traffic).
     pub fn is_spill_traffic(&self) -> bool {
@@ -407,6 +431,17 @@ mod tests {
         assert_eq!(m.num_copies(), 1);
         assert_eq!(m.num_paired_loads(), 1);
         assert_eq!(m.num_spill_insts(), 2);
+    }
+
+    #[test]
+    fn defs_cover_writes_only() {
+        let m = sample();
+        let defs: Vec<Vec<PhysReg>> = m.blocks[0].iter().map(MInst::defs).collect();
+        assert_eq!(defs[0], vec![PhysReg::int(1), PhysReg::int(2)]); // pair
+        assert_eq!(defs[1], vec![PhysReg::int(0)]); // copy
+        assert_eq!(defs[2], Vec::<PhysReg>::new()); // spill store
+        assert_eq!(defs[3], vec![PhysReg::int(0)]); // call result
+        assert_eq!(defs[5], Vec::<PhysReg>::new()); // ret
     }
 
     #[test]

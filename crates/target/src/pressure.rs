@@ -62,6 +62,81 @@ impl PairedLoadRule {
     }
 }
 
+/// A class's complete paired-load description: the destination rule plus
+/// the address shape (stride between the two words, required alignment of
+/// the first word) and how far apart the two loads may sit in the
+/// instruction stream and still fuse.
+///
+/// The old model was a single global rule with a hardcoded stride of 8
+/// that only fused exactly-adjacent loads; carrying the stride, alignment,
+/// and window here lets each register class of each target describe its
+/// own pairing shape.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PairRule {
+    dest: PairedLoadRule,
+    stride: i32,
+    align: i32,
+    window: usize,
+}
+
+impl PairRule {
+    /// A rule with the given destination constraint and address stride,
+    /// no alignment requirement, and the default scan window of 4
+    /// instructions.
+    pub const fn new(dest: PairedLoadRule, stride: i32) -> PairRule {
+        PairRule {
+            dest,
+            stride,
+            align: 1,
+            window: 4,
+        }
+    }
+
+    /// Requires the first word's offset to be a multiple of `align`.
+    pub const fn with_align(mut self, align: i32) -> PairRule {
+        self.align = align;
+        self
+    }
+
+    /// Sets how many instructions past the first load the fusion scan may
+    /// look for the second (1 = adjacent only).
+    pub const fn with_window(mut self, window: usize) -> PairRule {
+        self.window = window;
+        self
+    }
+
+    /// The destination-register constraint.
+    pub fn dest(&self) -> PairedLoadRule {
+        self.dest
+    }
+
+    /// The address stride between the two words.
+    pub fn stride(&self) -> i32 {
+        self.stride
+    }
+
+    /// The required alignment of the first word's offset (1 = none).
+    pub fn alignment(&self) -> i32 {
+        self.align
+    }
+
+    /// The fusion scan window, in instructions past the first load.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Whether an offset satisfies the alignment requirement.
+    pub fn aligned(&self, offset: i32) -> bool {
+        self.align <= 1 || offset.rem_euclid(self.align) == 0
+    }
+
+    /// Whether a paired load under this rule may write its first word to
+    /// `dst1` and its second to `dst2`.
+    pub fn allows(&self, dst1: PhysReg, dst2: PhysReg) -> bool {
+        self.dest.allows(dst1, dst2)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +177,39 @@ mod tests {
         for rule in [PairedLoadRule::Parity, PairedLoadRule::Sequential] {
             assert!(!rule.allows(PhysReg::int(0), PhysReg::float(1)));
         }
+    }
+
+    #[test]
+    fn pair_rule_defaults_and_setters() {
+        let r = PairRule::new(PairedLoadRule::Parity, 8);
+        assert_eq!(r.stride(), 8);
+        assert_eq!(r.alignment(), 1);
+        assert_eq!(r.window(), 4);
+        let r = PairRule::new(PairedLoadRule::Sequential, 16)
+            .with_align(16)
+            .with_window(2);
+        assert_eq!(r.stride(), 16);
+        assert_eq!(r.alignment(), 16);
+        assert_eq!(r.window(), 2);
+        assert_eq!(r.dest(), PairedLoadRule::Sequential);
+    }
+
+    #[test]
+    fn alignment_checks_offsets() {
+        let r = PairRule::new(PairedLoadRule::Parity, 16).with_align(16);
+        assert!(r.aligned(0));
+        assert!(r.aligned(32));
+        assert!(!r.aligned(8));
+        assert!(r.aligned(-16));
+        assert!(!r.aligned(-8));
+        // align 1 accepts everything.
+        assert!(PairRule::new(PairedLoadRule::Parity, 8).aligned(3));
+    }
+
+    #[test]
+    fn pair_rule_delegates_destination_check() {
+        let r = PairRule::new(PairedLoadRule::Sequential, 8);
+        assert!(r.allows(PhysReg::int(2), PhysReg::int(3)));
+        assert!(!r.allows(PhysReg::int(3), PhysReg::int(2)));
     }
 }

@@ -1,0 +1,123 @@
+//! The target registry: named targets, one lookup point for the CLI,
+//! the bench drivers, and the per-target test matrix.
+
+use crate::error::TargetError;
+use crate::{PressureModel, TargetDesc};
+
+/// A set of named [`TargetDesc`]s. [`TargetRegistry::builtin`] carries
+/// every shipped target; [`TargetRegistry::register`] adds custom ones.
+#[derive(Clone, Debug, Default)]
+pub struct TargetRegistry {
+    targets: Vec<TargetDesc>,
+}
+
+impl TargetRegistry {
+    /// An empty registry.
+    pub fn new() -> TargetRegistry {
+        TargetRegistry::default()
+    }
+
+    /// The shipped targets: the paper's evaluation machines under all
+    /// three pressure models (`ia64-*`, `x86-*`), the Figure 7
+    /// three-register machine, the named-register RISC-like `risc16`,
+    /// and the constrained high-pressure `tight8`.
+    pub fn builtin() -> TargetRegistry {
+        let mut r = TargetRegistry::new();
+        for model in [PressureModel::High, PressureModel::Middle, PressureModel::Low] {
+            r.register(TargetDesc::ia64_like(model))
+                .expect("builtin names are unique");
+            r.register(TargetDesc::x86_like(model))
+                .expect("builtin names are unique");
+        }
+        for t in [TargetDesc::figure7(), TargetDesc::risc16(), TargetDesc::tight8()] {
+            r.register(t).expect("builtin names are unique");
+        }
+        r
+    }
+
+    /// Adds a target; its name must be new.
+    pub fn register(&mut self, target: TargetDesc) -> Result<(), TargetError> {
+        if self.get(&target.name).is_some() {
+            return Err(TargetError::DuplicateTarget(target.name.clone()));
+        }
+        self.targets.push(target);
+        Ok(())
+    }
+
+    /// Looks a target up by name.
+    pub fn get(&self, name: &str) -> Option<&TargetDesc> {
+        self.targets.iter().find(|t| t.name == name)
+    }
+
+    /// Looks a target up by name, with a typed error naming every
+    /// registered target on failure.
+    pub fn resolve(&self, name: &str) -> Result<&TargetDesc, TargetError> {
+        self.get(name).ok_or_else(|| TargetError::UnknownTarget {
+            name: name.to_string(),
+            known: self.names().iter().map(|s| s.to_string()).collect(),
+        })
+    }
+
+    /// Every registered name, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.targets.iter().map(|t| t.name.as_str()).collect()
+    }
+
+    /// Every registered target, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &TargetDesc> {
+        self.targets.iter()
+    }
+
+    /// How many targets are registered.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_covers_the_shipped_targets() {
+        let r = TargetRegistry::builtin();
+        assert_eq!(
+            r.names(),
+            vec![
+                "ia64-16", "x86-16", "ia64-24", "x86-24", "ia64-32", "x86-32", "figure7",
+                "risc16", "tight8",
+            ]
+        );
+        assert!(r.len() >= 3);
+        assert_eq!(r.get("ia64-24").unwrap(), &TargetDesc::ia64_like(PressureModel::Middle));
+    }
+
+    #[test]
+    fn resolve_reports_every_known_name() {
+        let r = TargetRegistry::builtin();
+        assert_eq!(r.resolve("risc16").unwrap().name, "risc16");
+        let err = r.resolve("vax").unwrap_err();
+        match err {
+            TargetError::UnknownTarget { name, known } => {
+                assert_eq!(name, "vax");
+                assert_eq!(known.len(), r.len());
+            }
+            other => panic!("expected UnknownTarget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let mut r = TargetRegistry::new();
+        assert!(r.is_empty());
+        r.register(TargetDesc::toy(4)).unwrap();
+        let err = r.register(TargetDesc::toy(4)).unwrap_err();
+        assert_eq!(err, TargetError::DuplicateTarget("toy-4".into()));
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -3,7 +3,9 @@
 //! constructor/model space.
 
 use pdgc_ir::RegClass;
-use pdgc_target::{PairedLoadRule, PhysReg, PressureModel, TargetDesc};
+use pdgc_target::{
+    ClassSpec, PairRule, PairedLoadRule, PhysReg, PressureModel, TargetDesc, TargetError,
+};
 use proptest::prelude::*;
 
 fn models() -> impl Strategy<Value = PressureModel> {
@@ -20,6 +22,8 @@ fn targets() -> impl Strategy<Value = TargetDesc> {
         models().prop_map(TargetDesc::x86_like),
         (2u8..=32).prop_map(TargetDesc::toy),
         Just(TargetDesc::figure7()),
+        Just(TargetDesc::risc16()),
+        Just(TargetDesc::tight8()),
     ]
 }
 
@@ -89,5 +93,137 @@ proptest! {
         for r in t.regs(RegClass::Float) {
             prop_assert!(t.is_byte_capable(r));
         }
+    }
+
+    /// Builder round trip: a description built from an arbitrary valid
+    /// spec, read back through the public accessors and rebuilt, equals
+    /// the original — the accessors expose everything the builder took
+    /// in, and the builder accepts everything the accessors emit.
+    #[test]
+    fn builder_round_trips_through_the_accessors(
+        num_regs in 1usize..=64,
+        mask_seed in 1u64..=u64::MAX,
+        byte in 0u8..=8,
+        pair_bits in 0u16..=255,
+    ) {
+        let file_mask = if num_regs >= 64 { u64::MAX } else { (1u64 << num_regs) - 1 };
+        let volatile_mask = match mask_seed & file_mask {
+            0 => 1,
+            m => m,
+        };
+        let byte_regs = (byte != 0).then(|| byte.min(num_regs as u8));
+        let pair = (pair_bits & 1 != 0).then(|| {
+            let dest = if pair_bits & 2 != 0 {
+                PairedLoadRule::Parity
+            } else {
+                PairedLoadRule::Sequential
+            };
+            let stride = 8 * (1 + (pair_bits >> 2 & 3)) as i32;
+            let align = if pair_bits & 16 != 0 { stride } else { 1 };
+            let window = 1 + (pair_bits >> 5 & 7) as usize;
+            PairRule::new(dest, stride).with_align(align).with_window(window)
+        });
+        let names: Vec<String> = if pair_bits & 128 != 0 {
+            (0..num_regs).map(|i| format!("x{i}")).collect()
+        } else {
+            Vec::new()
+        };
+
+        let spec = |with_byte: bool| {
+            let mut s = ClassSpec::new(num_regs)
+                .volatile_mask(volatile_mask)
+                .named(names.clone());
+            if let Some(n) = byte_regs.filter(|_| with_byte) {
+                s = s.byte_regs(n);
+            }
+            if let Some(rule) = pair {
+                s = s.pair(rule);
+            }
+            s
+        };
+        let mut b = TargetDesc::builder("roundtrip")
+            .class(RegClass::Int, spec(true))
+            .class(RegClass::Float, spec(false));
+        if pair_bits & 64 != 0 {
+            b = b.div_reg(PhysReg::int((num_regs - 1) as u8));
+        }
+        let t = b.finish().expect("generated spec is valid");
+
+        // Read everything back through the accessors...
+        let reread = |class: RegClass| {
+            let c = t.class(class);
+            let mut mask = 0u64;
+            for i in 0..c.num_regs() {
+                if c.is_volatile(i) {
+                    mask |= 1 << i;
+                }
+            }
+            let mut s = ClassSpec::new(c.num_regs()).volatile_mask(mask);
+            if let Some(n) = c.byte_regs() {
+                s = s.byte_regs(n);
+            }
+            if let Some(rule) = c.pair() {
+                s = s.pair(*rule);
+            }
+            let names: Vec<String> =
+                (0..c.num_regs()).filter_map(|i| c.reg_name(i).map(String::from)).collect();
+            if !names.is_empty() {
+                s = s.named(names);
+            }
+            s
+        };
+        // ...and the rebuilt description is indistinguishable.
+        let mut b2 = TargetDesc::builder("roundtrip")
+            .class(RegClass::Int, reread(RegClass::Int))
+            .class(RegClass::Float, reread(RegClass::Float));
+        if let Some(div) = t.div_reg {
+            b2 = b2.div_reg(div);
+        }
+        let t2 = b2.finish().expect("accessor output is a valid spec");
+        prop_assert_eq!(&t, &t2);
+
+        // The accessors agree with the inputs along the way.
+        let c = t.class(RegClass::Int);
+        prop_assert_eq!(c.num_regs(), num_regs);
+        prop_assert_eq!(c.num_volatile(), volatile_mask.count_ones() as usize);
+        prop_assert_eq!(c.byte_regs(), byte_regs);
+        prop_assert_eq!(c.pair().copied(), pair);
+        prop_assert!(t.class(RegClass::Float).byte_regs().is_none());
+    }
+
+    /// Every volatile bit outside the file is a typed error, never a
+    /// silently-truncated mask.
+    #[test]
+    fn out_of_file_volatile_bits_are_rejected(
+        num_regs in 1usize..=63,
+        bit_seed in 0usize..64,
+    ) {
+        let bad_bit = num_regs + bit_seed % (64 - num_regs);
+        let mask = (1u64 << bad_bit) | 1;
+        let err = TargetDesc::builder("bad")
+            .class(RegClass::Int, ClassSpec::new(num_regs).volatile_mask(mask))
+            .class(RegClass::Float, ClassSpec::new(num_regs))
+            .finish()
+            .unwrap_err();
+        prop_assert_eq!(err, TargetError::VolatileOutOfRange(RegClass::Int));
+    }
+
+    /// A name list of any wrong size is a typed error carrying both
+    /// counts.
+    #[test]
+    fn wrong_name_counts_are_rejected(num_regs in 1usize..=64, names in 0usize..=64) {
+        prop_assume!(names != 0 && names != num_regs);
+        let err = TargetDesc::builder("bad")
+            .class(
+                RegClass::Int,
+                ClassSpec::new(num_regs).named((0..names).map(|i| format!("x{i}"))),
+            )
+            .class(RegClass::Float, ClassSpec::new(num_regs))
+            .finish()
+            .unwrap_err();
+        prop_assert_eq!(
+            err,
+            TargetError::NameCountMismatch { class: RegClass::Int, names, num_regs }
+        );
     }
 }

@@ -256,8 +256,13 @@ impl<'a> FuncGen<'a> {
             return;
         }
         if paired {
-            let off2 = off + 8;
-            self.load_off += 8;
+            // Snap the first word up to the target's pair alignment (a
+            // no-op for the paper-like align-1 targets) and stride the
+            // second word per the profile.
+            let align = self.prof.pair_align.max(1);
+            let off = off + (align - off.rem_euclid(align)) % align;
+            let off2 = off + self.prof.pair_stride;
+            self.load_off = self.load_off.max(off2 + self.prof.pair_stride);
             if float {
                 let a = self.b.fload(self.base, off);
                 let c = self.b.fload(self.base, off2);
@@ -466,6 +471,37 @@ mod tests {
             .map(|f| f.count_insts(|i| matches!(i, pdgc_ir::Inst::Load8 { .. })))
             .sum();
         assert_eq!(none, 0);
+    }
+
+    #[test]
+    fn paired_candidates_follow_the_profile_stride_and_alignment() {
+        let mut prof = specjvm_suite()[0].clone();
+        prof.paired_density = 1.0;
+        prof.float_ratio = 0.0;
+        prof.pair_stride = 16;
+        prof.pair_align = 16;
+        let w = generate(&prof);
+        // Collect every load offset; each paired emission contributes an
+        // aligned first word and a second word exactly 16 bytes later.
+        let mut found = 0;
+        for f in &w.funcs {
+            for b in f.block_ids() {
+                let insts = &f.block(b).insts;
+                for k in 0..insts.len().saturating_sub(1) {
+                    if let (
+                        pdgc_ir::Inst::Load { offset: o1, .. },
+                        pdgc_ir::Inst::Load { offset: o2, .. },
+                    ) = (&insts[k], &insts[k + 1])
+                    {
+                        if *o2 == o1 + 16 {
+                            assert_eq!(o1 % 16, 0, "first word must be 16-aligned");
+                            found += 1;
+                        }
+                    }
+                }
+            }
+        }
+        assert!(found > 10, "expected stride-16 pairs, found {found}");
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! Workload profiles: the SPECjvm98 analogs.
 
-use pdgc_ir::Function;
+use pdgc_ir::{Function, RegClass};
+use pdgc_target::TargetDesc;
 
 /// Tuning knobs for the synthetic program generator.
 #[derive(Clone, Debug)]
@@ -28,6 +29,32 @@ pub struct WorkloadProfile {
     pub pressure: usize,
     /// Probability of emitting a branch diamond (φ merges).
     pub diamond_density: f64,
+    /// Address stride between the two words of an emitted paired-load
+    /// candidate (the paper-like targets fuse at stride 8).
+    pub pair_stride: i32,
+    /// Required alignment of a paired candidate's first word (1 = none).
+    pub pair_align: i32,
+}
+
+impl WorkloadProfile {
+    /// Adapts the profile to a target: paired candidates take the
+    /// stride and alignment of the target's integer pair rule (a target
+    /// without one gets no paired candidates), and the live-value
+    /// pressure is capped below the register file so constrained
+    /// targets stay allocatable while still spilling.
+    pub fn for_target(&self, target: &TargetDesc) -> WorkloadProfile {
+        let mut p = self.clone();
+        match target.pair_rule(RegClass::Int) {
+            Some(rule) => {
+                p.pair_stride = rule.stride();
+                p.pair_align = rule.alignment();
+            }
+            None => p.paired_density = 0.0,
+        }
+        let regs = target.num_regs(RegClass::Int);
+        p.pressure = p.pressure.min(regs.saturating_sub(2)).max(2);
+        p
+    }
 }
 
 /// A generated workload: functions plus a display name.
@@ -65,6 +92,8 @@ pub fn specjvm_suite() -> Vec<WorkloadProfile> {
         byte_density: 0.0,
         pressure,
         diamond_density: diamond,
+        pair_stride: 8,
+        pair_align: 1,
     };
     vec![
         // compress: tight integer loop nests, few calls, steady pressure.
@@ -99,5 +128,33 @@ mod tests {
         // Float-class stats come from the float-heavy profiles.
         assert!(suite[4].float_ratio > 0.4);
         assert!(suite[5].float_ratio > 0.4);
+        // The default pairing shape matches the paper-like targets.
+        assert!(suite.iter().all(|p| p.pair_stride == 8 && p.pair_align == 1));
+    }
+
+    #[test]
+    fn for_target_adopts_the_pair_rule_and_caps_pressure() {
+        let prof = &specjvm_suite()[0]; // compress: pressure 14
+        // risc16 pairs aligned stride-16 quadwords.
+        let risc = prof.for_target(&TargetDesc::risc16());
+        assert_eq!(risc.pair_stride, 16);
+        assert_eq!(risc.pair_align, 16);
+        assert_eq!(risc.pressure, 14);
+        // tight8's 8-register file caps the pressure target.
+        let tight = prof.for_target(&TargetDesc::tight8());
+        assert_eq!(tight.pressure, 6);
+        // The paper-like default leaves the profile untouched.
+        let ia64 = prof.for_target(&TargetDesc::ia64_like(
+            pdgc_target::PressureModel::Middle,
+        ));
+        assert_eq!(ia64.pair_stride, prof.pair_stride);
+        assert_eq!(ia64.pressure, prof.pressure);
+        // A target whose integer class cannot pair gets no candidates.
+        let nopair = TargetDesc::builder("nopair")
+            .class(RegClass::Int, pdgc_target::ClassSpec::new(16))
+            .class(RegClass::Float, pdgc_target::ClassSpec::new(16))
+            .finish()
+            .unwrap();
+        assert_eq!(prof.for_target(&nopair).paired_density, 0.0);
     }
 }

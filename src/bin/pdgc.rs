@@ -30,8 +30,17 @@ USAGE:
 ALLOCATORS:
     full (default), coalesce, chaitin, briggs, iterated, optimistic, callcost
 
-TARGETS:
-    ia64-16, ia64-24 (default), ia64-32, x86-16, x86-24, x86-32, figure7
+TARGETS (the built-in registry; ia64-24 is the default):
+    ia64-16, ia64-24, ia64-32    the paper's parity-paired machine at
+                                 high/middle/low pressure
+    x86-16, x86-24, x86-32       sequential pairs, byte-restricted,
+                                 division pinned to r0
+    figure7                      the paper's three-register walkthrough
+                                 machine
+    risc16                       16 named registers (a0..a5, s0..s9),
+                                 aligned stride-16 sequential pairs
+    tight8                       constrained 8-register high-pressure
+                                 target, no float pairing
 
 TRACING:
     --trace PATH        write a JSON-Lines allocation trace (phase spans,
@@ -64,23 +73,11 @@ fn pick_allocator(name: &str) -> Option<Box<dyn RegisterAllocator>> {
     })
 }
 
-fn pick_target(name: &str) -> Option<TargetDesc> {
-    let model = |n: &str| match n {
-        "16" => Some(PressureModel::High),
-        "24" => Some(PressureModel::Middle),
-        "32" => Some(PressureModel::Low),
-        _ => None,
-    };
-    if name == "figure7" {
-        return Some(TargetDesc::figure7());
-    }
-    if let Some(n) = name.strip_prefix("ia64-") {
-        return Some(TargetDesc::ia64_like(model(n)?));
-    }
-    if let Some(n) = name.strip_prefix("x86-") {
-        return Some(TargetDesc::x86_like(model(n)?));
-    }
-    None
+fn pick_target(name: &str) -> Result<TargetDesc, String> {
+    TargetRegistry::builtin()
+        .resolve(name)
+        .cloned()
+        .map_err(|e| e.to_string())
 }
 
 struct Options {
@@ -196,8 +193,7 @@ fn load(o: &Options) -> Result<(Function, Box<dyn RegisterAllocator>, TargetDesc
     let func = pdgc::ir::parse_function(&text).map_err(|e| format!("{file}: {e}"))?;
     let alloc = pick_allocator(&o.allocator)
         .ok_or_else(|| format!("unknown allocator `{}`", o.allocator))?;
-    let target =
-        pick_target(&o.target).ok_or_else(|| format!("unknown target `{}`", o.target))?;
+    let target = pick_target(&o.target)?;
     Ok((func, alloc, target))
 }
 
@@ -268,8 +264,7 @@ fn pick_allocator_sync(name: &str) -> Option<Box<dyn RegisterAllocator + Sync>> 
 fn cmd_bench_batch(o: &Options) -> Result<(), String> {
     let alloc = pick_allocator_sync(&o.allocator)
         .ok_or_else(|| format!("unknown allocator `{}`", o.allocator))?;
-    let target =
-        pick_target(&o.target).ok_or_else(|| format!("unknown target `{}`", o.target))?;
+    let target = pick_target(&o.target)?;
     let jobs = o
         .jobs
         .or_else(|| std::thread::available_parallelism().ok().map(usize::from))
@@ -277,7 +272,7 @@ fn cmd_bench_batch(o: &Options) -> Result<(), String> {
         .max(1);
     let workloads: Vec<pdgc_workloads::Workload> = pdgc_workloads::specjvm_suite()
         .iter()
-        .map(pdgc_workloads::generate)
+        .map(|p| pdgc_workloads::generate(&p.for_target(&target)))
         .collect();
     let total: usize = workloads.iter().map(|w| w.funcs.len()).sum();
     println!(

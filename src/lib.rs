@@ -78,7 +78,10 @@ pub mod prelude {
         PrettySink, RecordingTracer, Tracer,
     };
     pub use pdgc_sim::{check_equivalent, run_ir, run_mach, DEFAULT_FUEL};
-    pub use pdgc_target::{MachFunction, PairedLoadRule, PhysReg, PressureModel, TargetDesc};
+    pub use pdgc_target::{
+        ClassSpec, MachFunction, PairRule, PairedLoadRule, PhysReg, PressureModel, TargetBuilder,
+        TargetDesc, TargetError, TargetRegistry,
+    };
     pub use pdgc_workloads::{default_args, generate, specjvm_suite, Workload};
 }
 

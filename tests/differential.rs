@@ -118,8 +118,11 @@ fn check_allocator_tiny(alloc: &dyn RegisterAllocator) {
 
 /// One `#[test]` per allocator and scenario, so shards parallelize and
 /// failures name the allocator. High pressure covers every workload
-/// function; middle/low cover 3 per workload (the pressure-independent
-/// bulk is already covered by high).
+/// function; middle/low cover 2 per workload (the pressure-independent
+/// bulk is already covered by high, and the per-target matrix in
+/// `tests/target_matrix.rs` adds further coverage per registered
+/// target, so the low-pressure shards stay trimmed to keep CI
+/// wall-clock flat).
 macro_rules! differential_tests {
     ($($mod_name:ident => $alloc:expr;)+) => {
         $(
@@ -133,12 +136,12 @@ macro_rules! differential_tests {
 
                 #[test]
                 fn preserves_semantics_middle_pressure() {
-                    check_allocator_with(&$alloc, PressureModel::Middle, 3);
+                    check_allocator_with(&$alloc, PressureModel::Middle, 2);
                 }
 
                 #[test]
                 fn preserves_semantics_low_pressure() {
-                    check_allocator_with(&$alloc, PressureModel::Low, 3);
+                    check_allocator_with(&$alloc, PressureModel::Low, 2);
                 }
 
                 #[test]

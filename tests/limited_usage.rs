@@ -121,6 +121,8 @@ fn byte_dense_workload_differentially_verified() {
         byte_density: 0.5,
         pressure: 10,
         diamond_density: 0.25,
+        pair_stride: 8,
+        pair_align: 1,
     };
     let w = generate(&prof);
     let target = TargetDesc::x86_like(PressureModel::High);

@@ -240,6 +240,8 @@ proptest! {
             byte_density: 0.15,
             pressure,
             diamond_density: 0.3,
+            pair_stride: 8,
+            pair_align: 1,
         };
         let w = generate(&prof);
         let func = &w.funcs[0];
@@ -274,6 +276,8 @@ proptest! {
             byte_density: 0.2,
             pressure: 9,
             diamond_density: 0.35,
+            pair_stride: 8,
+            pair_align: 1,
         };
         let w = generate(&prof);
         let func = &w.funcs[0];
@@ -306,6 +310,8 @@ proptest! {
             byte_density: 0.0,
             pressure: 8,
             diamond_density: 0.6, // many φs
+            pair_stride: 8,
+            pair_align: 1,
         };
         let w = generate(&prof);
         let func = &w.funcs[0];
@@ -337,6 +343,8 @@ proptest! {
             byte_density: 0.1,
             pressure: 8,
             diamond_density: 0.2,
+            pair_stride: 8,
+            pair_align: 1,
         };
         let w = generate(&prof);
         let mut func = w.funcs[0].clone();

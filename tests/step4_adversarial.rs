@@ -113,7 +113,7 @@ fn deferred_pairing_outranks_argument_home() {
     let (r, decisions) = run(&mut g, &nm, &target, &rpg);
     let (a, b) = (r.assignment[5].unwrap(), r.assignment[6].unwrap());
     assert_ne!(a, PhysReg::int(0), "argument home must lose to the pairing");
-    assert!(target.paired_load.allows(a, b), "pair {a}/{b} must satisfy parity");
+    assert!(target.pair_allows(a, b), "pair {a}/{b} must satisfy parity");
 
     // The trace shows why: the pairing screened first *as a deferred
     // partner preference* (node 6 not yet allocated) and narrowed the
@@ -233,8 +233,8 @@ fn two_pairs_share_the_file_and_screens_stay_strength_sorted() {
     let (r, decisions) = run(&mut g, &nm, &target, &rpg);
     assert!(r.spilled.is_empty(), "4 mutually-interfering values fit 4 registers");
     let reg = |i: usize| r.assignment[i].unwrap();
-    assert!(target.paired_load.allows(reg(5), reg(6)));
-    assert!(target.paired_load.allows(reg(7), reg(8)));
+    assert!(target.pair_allows(reg(5), reg(6)));
+    assert!(target.pair_allows(reg(7), reg(8)));
 
     for d in &decisions {
         let strengths: Vec<i64> = d.considered.iter().map(|c| c.strength).collect();
@@ -244,6 +244,82 @@ fn two_pairs_share_the_file_and_screens_stay_strength_sorted() {
             d.node
         );
     }
+}
+
+fn set_pref(mask: u64, s: i64) -> Preference {
+    Preference {
+        kind: PrefKind::Prefers,
+        target: PrefTarget::Set(mask),
+        strength_vol: s,
+        strength_nonvol: s - 2,
+    }
+}
+
+/// A set-mask preference (§3.1 limited register usage) competing with a
+/// parity pairing, set stronger: node 5 is restricted to {r1, r2}
+/// (strength 60) and paired with node 6 (strength 40), which interferes
+/// with both odd registers — so the partner must land even and node 5
+/// odd. Step 4 screens the set first (narrowing {r0..r3} → {r1, r2}),
+/// then the deferred pairing narrows *within* it ({r1, r2} → {r1}): the
+/// final register satisfies both, and the trace shows each screen
+/// narrowing in strength order.
+#[test]
+fn set_mask_screens_before_weaker_pairing_and_both_narrow() {
+    let (mut g, nm, target) = setup(2, &[(6, 1), (6, 3)]);
+    let mut rpg = Rpg::new(nm.num_nodes());
+    rpg.add(n(5), set_pref(0b0110, 60)); // {r1, r2}
+    rpg.add(n(5), seq_pref(PrefKind::SequentialPlus, 6, 40));
+    rpg.add(n(6), seq_pref(PrefKind::SequentialMinus, 5, 40));
+
+    let (r, decisions) = run(&mut g, &nm, &target, &rpg);
+    let (a, b) = (r.assignment[5].unwrap(), r.assignment[6].unwrap());
+    assert_eq!(a, PhysReg::int(1), "only r1 satisfies both set and pairing");
+    assert!(target.pair_allows(a, b), "pair {a}/{b} must satisfy parity");
+
+    let d = decision_for(&decisions, 5);
+    assert_eq!(
+        (d.considered[0].kind, d.considered[0].target.as_str(), d.considered[0].strength),
+        ("prefers", "set:0x6", 60)
+    );
+    assert!(d.considered[0].narrowed, "the set must narrow the candidates");
+    let pairing = d.considered.iter().find(|c| c.kind == "seq+").unwrap();
+    assert_eq!((pairing.deferred, pairing.strength), (true, 40));
+    assert!(pairing.narrowed, "the pairing must narrow within the set");
+}
+
+/// The same competition where honoring the set makes the pairing
+/// *infeasible*: node 5 is pinned to {r0} alone, and node 6 interferes
+/// with both odd registers — no opposite-parity partner can exist once
+/// node 5 takes r0. The stronger set wins; the pairing screens but is
+/// abandoned rather than allowed to empty the candidate set, and no
+/// fused pair forms.
+#[test]
+fn set_mask_strands_an_infeasible_pairing() {
+    let (mut g, nm, target) = setup(2, &[(6, 1), (6, 3)]);
+    let mut rpg = Rpg::new(nm.num_nodes());
+    rpg.add(n(5), set_pref(0b0001, 60)); // {r0} only
+    rpg.add(n(5), seq_pref(PrefKind::SequentialPlus, 6, 40));
+    rpg.add(n(6), seq_pref(PrefKind::SequentialMinus, 5, 40));
+
+    let (r, decisions) = run(&mut g, &nm, &target, &rpg);
+    let (a, b) = (r.assignment[5].unwrap(), r.assignment[6].unwrap());
+    assert_eq!(a, PhysReg::int(0), "the set pin must be honored");
+    assert!(
+        !target.pair_allows(a, b),
+        "no parity partner exists for r0 against {{r1, r3}} interference"
+    );
+
+    let d = decision_for(&decisions, 5);
+    assert_eq!(
+        (d.considered[0].kind, d.considered[0].target.as_str(), d.considered[0].narrowed),
+        ("prefers", "set:0x1", true)
+    );
+    let pairing = d.considered.iter().find(|c| c.kind == "seq+").unwrap();
+    assert!(pairing.deferred);
+    assert!(
+        !pairing.narrowed,
+        "a pairing that would empty the candidate set is abandoned"
+    );
 }
 
 /// The full allocator on a real function mixing both hazards: a parity
