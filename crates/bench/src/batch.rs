@@ -19,7 +19,7 @@
 //! (e.g. [`PhaseTimes::merge`]) happens on the calling thread only.
 
 use crate::fingerprint_mach;
-use pdgc_core::{AllocStats, RegisterAllocator};
+use pdgc_core::{AllocStats, CheckMode, RegisterAllocator};
 use pdgc_obs::{Event, PhaseTimes, Tracer};
 use pdgc_target::TargetDesc;
 use pdgc_workloads::Workload;
@@ -115,7 +115,24 @@ pub fn run_batch(
     target: &TargetDesc,
     jobs: usize,
 ) -> BatchResult {
-    run_batch_traced(alloc, workloads, target, jobs, |_| pdgc_obs::NoopTracer).0
+    run_batch_checked(alloc, workloads, target, jobs, CheckMode::Off)
+}
+
+/// [`run_batch`] with the symbolic checker ([`pdgc_core::CheckMode`]) run
+/// on every allocation. A checker violation panics with the full violation
+/// list, like any other allocation failure.
+///
+/// # Panics
+///
+/// Same as [`run_batch`], plus checker violations under `check`.
+pub fn run_batch_checked(
+    alloc: &(dyn RegisterAllocator + Sync),
+    workloads: &[Workload],
+    target: &TargetDesc,
+    jobs: usize,
+    check: CheckMode,
+) -> BatchResult {
+    run_batch_traced_checked(alloc, workloads, target, jobs, |_| pdgc_obs::NoopTracer, check).0
 }
 
 /// [`run_batch`] with a caller-supplied per-function trace sink: `make(i)`
@@ -138,6 +155,28 @@ where
     T: Tracer + Send,
     F: Fn(usize) -> T + Sync,
 {
+    run_batch_traced_checked(alloc, workloads, target, jobs, make, CheckMode::Off)
+}
+
+/// [`run_batch_traced`] with the symbolic checker run on every allocation.
+/// Checker failures are recorded as [`Event::CheckFailed`] in the
+/// function's sink before the driver panics.
+///
+/// # Panics
+///
+/// Same as [`run_batch`], plus checker violations under `check`.
+pub fn run_batch_traced_checked<T, F>(
+    alloc: &(dyn RegisterAllocator + Sync),
+    workloads: &[Workload],
+    target: &TargetDesc,
+    jobs: usize,
+    make: F,
+    check: CheckMode,
+) -> (BatchResult, Vec<T>)
+where
+    T: Tracer + Send,
+    F: Fn(usize) -> T + Sync,
+{
     let jobs = jobs.max(1);
     let tasks: Vec<(usize, &Workload, &pdgc_ir::Function)> = workloads
         .iter()
@@ -155,7 +194,7 @@ where
         let out = {
             let mut pair = PairTracer(&mut phases, &mut sink);
             alloc
-                .allocate_traced(func, target, &mut pair)
+                .allocate_checked(func, target, &mut pair, check)
                 .unwrap_or_else(|e| panic!("{} failed on {}: {e}", alloc.name(), func.name))
         };
         (
@@ -301,12 +340,29 @@ pub fn compare_jobs(
     jobs: usize,
     repeat: usize,
 ) -> BatchComparison {
+    compare_jobs_checked(alloc, workloads, target, jobs, repeat, CheckMode::Off)
+}
+
+/// [`compare_jobs`] with the symbolic checker run on every allocation of
+/// both the serial and the parallel runs.
+///
+/// # Panics
+///
+/// Same as [`compare_jobs`], plus checker violations under `check`.
+pub fn compare_jobs_checked(
+    alloc: &(dyn RegisterAllocator + Sync),
+    workloads: &[Workload],
+    target: &TargetDesc,
+    jobs: usize,
+    repeat: usize,
+    check: CheckMode,
+) -> BatchComparison {
     let repeat = repeat.max(1);
     let mut serial: Option<BatchResult> = None;
     let mut parallel: Option<BatchResult> = None;
     for _ in 0..repeat {
         for (slot, j) in [(&mut serial, 1), (&mut parallel, jobs)] {
-            let r = run_batch(alloc, workloads, target, j);
+            let r = run_batch_checked(alloc, workloads, target, j, check);
             match slot {
                 Some(prev) => {
                     assert!(
@@ -376,6 +432,15 @@ mod tests {
         }
         // Phase times were accumulated alongside the user sinks.
         assert!(result.phases.total_nanos() > 0);
+    }
+
+    #[test]
+    fn batch_runs_green_under_the_checker() {
+        let target = TargetDesc::ia64_like(PressureModel::High);
+        let alloc = PreferenceAllocator::full();
+        let workloads = small_workloads();
+        let r = run_batch_checked(&alloc, &workloads, &target, 2, CheckMode::Always);
+        assert_eq!(r.funcs.len(), 4);
     }
 
     #[test]

@@ -8,13 +8,17 @@
 //! (same per-function statistics and rewrite fingerprints); the process
 //! exits non-zero if they diverge, so CI can gate on determinism.
 //!
+//! Pass `--check` (or `--check=debug`) to run the post-allocation symbolic
+//! checker (`pdgc-check`) on every allocation of both runs; a violation
+//! aborts with the full violation list.
+//!
 //! ```text
-//! cargo run --release -p pdgc-bench --bin batch -- --jobs 4 [--repeat 3] [--target risc16]
+//! cargo run --release -p pdgc-bench --bin batch -- --jobs 4 [--repeat 3] [--target risc16] [--check]
 //! ```
 
-use pdgc_bench::batch::compare_jobs;
+use pdgc_bench::batch::compare_jobs_checked;
 use pdgc_bench::print_table;
-use pdgc_core::PreferenceAllocator;
+use pdgc_core::{CheckMode, PreferenceAllocator};
 use pdgc_target::TargetRegistry;
 use pdgc_workloads::{generate, specjvm_suite, Workload};
 
@@ -42,6 +46,13 @@ fn main() {
         .or_else(|| std::thread::available_parallelism().ok().map(usize::from))
         .unwrap_or(1);
     let repeat = parse_flag(&args, "--repeat").unwrap_or(1).max(1);
+    let check = if args.iter().any(|a| a == "--check") {
+        CheckMode::Always
+    } else {
+        parse_str_flag(&args, "--check")
+            .map(|v| CheckMode::parse(&v).expect("bad --check mode (off, debug, always)"))
+            .unwrap_or(CheckMode::Off)
+    };
     let target_name = parse_str_flag(&args, "--target").unwrap_or_else(|| "ia64-24".to_string());
     let registry = TargetRegistry::builtin();
     let target = match registry.resolve(&target_name) {
@@ -63,7 +74,10 @@ fn main() {
         target.name
     );
 
-    let cmp = compare_jobs(&alloc, &workloads, &target, jobs, repeat);
+    let cmp = compare_jobs_checked(&alloc, &workloads, &target, jobs, repeat, check);
+    if check.should_check() {
+        println!("symbolic check: every allocation of both runs proven ({check} mode)");
+    }
 
     let rows = [&cmp.serial, &cmp.parallel]
         .iter()

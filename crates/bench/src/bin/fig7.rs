@@ -53,6 +53,20 @@ fn trace_arg() -> Option<String> {
     None
 }
 
+/// `--check` / `--check=MODE` from the command line (`Off` when absent).
+fn check_arg() -> pdgc_core::CheckMode {
+    for a in std::env::args().skip(1) {
+        if a == "--check" {
+            return pdgc_core::CheckMode::Always;
+        }
+        if let Some(v) = a.strip_prefix("--check=") {
+            return pdgc_core::CheckMode::parse(v)
+                .unwrap_or_else(|| panic!("bad --check mode `{v}` (off, debug, always)"));
+        }
+    }
+    pdgc_core::CheckMode::Off
+}
+
 fn main() {
     // Figure 7(a): the sample loop.
     let mut b = FunctionBuilder::new("fig7", vec![RegClass::Int], None);
@@ -180,6 +194,7 @@ fn main() {
     // and select decisions go to `--trace PATH` (JSON Lines) when given,
     // and the per-phase wall-clock always lands in `results/fig7.json`.
     let alloc = PreferenceAllocator::full();
+    let check = check_arg();
     let mut phases = PhaseTimes::default();
     let out = match trace_arg() {
         Some(path) => {
@@ -191,15 +206,20 @@ fn main() {
                     a: &mut sink,
                     b: &mut phases,
                 };
-                alloc.allocate_traced(&func, &target, &mut tee).unwrap()
+                alloc.allocate_checked(&func, &target, &mut tee, check).unwrap()
             };
             use std::io::Write as _;
             sink.into_inner().flush().unwrap();
             eprintln!("trace written to {path}");
             out
         }
-        None => alloc.allocate_traced(&func, &target, &mut phases).unwrap(),
+        None => alloc
+            .allocate_checked(&func, &target, &mut phases, check)
+            .unwrap(),
     };
+    if check.should_check() {
+        println!("symbolic check passed ({check} mode)");
+    }
     println!("=== Figure 7(g): assignment ===");
     for (v, name) in names {
         println!("  {name} -> {}", out.assignment[v.index()].unwrap());

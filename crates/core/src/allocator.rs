@@ -13,6 +13,7 @@ use pdgc_target::TargetDesc;
 
 pub use crate::pipeline::{AllocError, AllocOutput};
 pub use crate::rpg::PreferenceSet;
+pub use pdgc_check::CheckMode;
 
 /// A complete register allocator: lowers, colors, spills, and rewrites.
 ///
@@ -47,6 +48,26 @@ pub trait RegisterAllocator {
         _tracer: &mut dyn Tracer,
     ) -> Result<AllocOutput, AllocError> {
         self.allocate(func, target)
+    }
+
+    /// [`Self::allocate_traced`] followed by the post-allocation symbolic
+    /// checker (`pdgc-check`) when `check` says so: the result is
+    /// independently proven semantics-preserving before it is returned.
+    ///
+    /// # Errors
+    ///
+    /// See [`AllocError`]; additionally [`AllocError::CheckFailed`] when
+    /// the checker finds a violation.
+    fn allocate_checked(
+        &self,
+        func: &Function,
+        target: &TargetDesc,
+        tracer: &mut dyn Tracer,
+        check: CheckMode,
+    ) -> Result<AllocOutput, AllocError> {
+        let out = self.allocate_traced(func, target, tracer)?;
+        crate::pipeline::check_output(&out, target, tracer, check)?;
+        Ok(out)
     }
 }
 

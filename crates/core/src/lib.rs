@@ -62,5 +62,7 @@ mod stats;
 
 mod allocator;
 
-pub use allocator::{AllocError, AllocOutput, PreferenceAllocator, PreferenceSet, RegisterAllocator};
+pub use allocator::{
+    AllocError, AllocOutput, CheckMode, PreferenceAllocator, PreferenceSet, RegisterAllocator,
+};
 pub use stats::{AllocStats, ClassStats};

@@ -23,6 +23,7 @@ use crate::rewrite::rewrite;
 use crate::spill::insert_spill_code;
 use crate::stats::AllocStats;
 use pdgc_analysis::{CallCrossing, Cfg, DefUse, Dominators, Liveness, Loops};
+use pdgc_check::{check_allocation, CheckError, CheckMode};
 use pdgc_ir::{Function, RegClass, VReg};
 use pdgc_obs::{with_span, Event, NoopTracer, Phase, Tracer};
 use pdgc_target::{MachFunction, PhysReg, TargetDesc};
@@ -128,6 +129,8 @@ pub enum AllocError {
         /// The function that failed to converge.
         func: String,
     },
+    /// The post-allocation symbolic checker rejected the allocation.
+    CheckFailed(CheckError),
 }
 
 impl fmt::Display for AllocError {
@@ -137,6 +140,7 @@ impl fmt::Display for AllocError {
             AllocError::TooManyRounds { func } => {
                 write!(f, "allocation of {func} did not converge in {MAX_ROUNDS} rounds")
             }
+            AllocError::CheckFailed(e) => write!(f, "{e}"),
         }
     }
 }
@@ -146,6 +150,7 @@ impl std::error::Error for AllocError {
         match self {
             AllocError::Lower(e) => Some(e),
             AllocError::TooManyRounds { .. } => None,
+            AllocError::CheckFailed(e) => Some(e),
         }
     }
 }
@@ -153,6 +158,12 @@ impl std::error::Error for AllocError {
 impl From<LowerError> for AllocError {
     fn from(e: LowerError) -> Self {
         AllocError::Lower(e)
+    }
+}
+
+impl From<CheckError> for AllocError {
+    fn from(e: CheckError) -> Self {
+        AllocError::CheckFailed(e)
     }
 }
 
@@ -291,6 +302,19 @@ pub fn run_pipeline_traced(
             }
         }
 
+        // A vreg must be spilled at most once per round: classes partition
+        // the universe and strategies spill whole nodes, so a duplicate here
+        // means node bookkeeping broke (it would burn a second frame slot
+        // and leave a stale `slot_of` entry downstream). Dedup in release,
+        // loudly in debug, preserving insertion order for the trace event.
+        let mut seen = vec![false; lowered.func.num_vregs()];
+        spilled_vregs.retain(|v| {
+            let dup = seen[v.index()];
+            debug_assert!(!dup, "vreg {v} spilled twice in one round");
+            seen[v.index()] = true;
+            !dup
+        });
+
         if spilled_vregs.is_empty() {
             stats.rounds = round;
             let mach = with_span(tracer, Phase::Rewrite, round as u32, None, || {
@@ -330,6 +354,62 @@ pub fn run_pipeline_traced(
     Err(AllocError::TooManyRounds {
         func: func.name.clone(),
     })
+}
+
+/// [`run_pipeline_traced`] followed by the post-allocation symbolic
+/// checker (when `mode` says so): the returned allocation is
+/// independently proven semantics-preserving before anyone consumes it.
+///
+/// # Errors
+///
+/// Same as [`run_pipeline_traced`], plus [`AllocError::CheckFailed`] when
+/// the checker finds a violation.
+pub fn run_pipeline_checked(
+    func: &Function,
+    target: &TargetDesc,
+    strategy: &dyn ClassStrategy,
+    tracer: &mut dyn Tracer,
+    mode: CheckMode,
+) -> Result<AllocOutput, AllocError> {
+    let out = run_pipeline_traced(func, target, strategy, tracer)?;
+    check_output(&out, target, tracer, mode)?;
+    Ok(out)
+}
+
+/// Runs the symbolic checker over a finished allocation, honoring `mode`.
+///
+/// Emits a [`Phase::Check`] span and, on rejection, an
+/// [`Event::CheckFailed`] carrying every violation, so `--trace` artifacts
+/// capture exactly what was wrong.
+///
+/// # Errors
+///
+/// [`AllocError::CheckFailed`] when the checker finds a violation.
+pub fn check_output(
+    out: &AllocOutput,
+    target: &TargetDesc,
+    tracer: &mut dyn Tracer,
+    mode: CheckMode,
+) -> Result<(), AllocError> {
+    if !mode.should_check() {
+        return Ok(());
+    }
+    let round = out.stats.rounds as u32;
+    let result = with_span(tracer, Phase::Check, round, None, || {
+        check_allocation(&out.lowered, &out.assignment, &out.mach, target)
+    });
+    match result {
+        Ok(_) => Ok(()),
+        Err(e) => {
+            if tracer.enabled() {
+                tracer.record(&Event::CheckFailed {
+                    func: e.func.clone(),
+                    violations: e.violations.iter().map(|v| v.to_string()).collect(),
+                });
+            }
+            Err(AllocError::CheckFailed(e))
+        }
+    }
 }
 
 #[cfg(test)]

@@ -219,27 +219,13 @@ pub fn rewrite(
     let mut written: Vec<PhysReg> = Vec::new();
     for blk in &blocks {
         for inst in blk {
-            let mut record = |r: PhysReg| {
+            // `defs()` rather than a hand-maintained variant list: a
+            // missed writer here (Load8 was one, caught by pdgc-check)
+            // silently corrupts a caller's non-volatile register.
+            for r in inst.defs() {
                 if !target.is_volatile(r) && !written.contains(&r) {
                     written.push(r);
                 }
-            };
-            match inst {
-                MInst::Copy { dst, .. }
-                | MInst::Iconst { dst, .. }
-                | MInst::Fconst { dst, .. }
-                | MInst::Load { dst, .. }
-                | MInst::Bin { dst, .. }
-                | MInst::BinImm { dst, .. }
-                | MInst::SpillLoad { dst, .. } => record(*dst),
-                MInst::LoadPair { dst1, dst2, .. } => {
-                    record(*dst1);
-                    record(*dst2);
-                }
-                MInst::Call {
-                    ret_reg: Some(r), ..
-                } => record(*r),
-                _ => {}
             }
         }
     }
@@ -257,12 +243,14 @@ pub fn rewrite(
     }
 }
 
-/// Fuses `Load r1, [b+o]; ...; Load r2, [b+o+stride]` into a `LoadPair`
-/// when the destinations satisfy the class's pair rule, the first
-/// destination is not the base (which the second load still reads), and
-/// the second load sits within the rule's scan window with nothing unsafe
-/// in between. Stride, alignment, and window all come from the target's
-/// per-class [`pdgc_target::PairRule`].
+/// Fuses `Load r1, [b+o]; ...; Load r2, [b+o±stride]` into a `LoadPair`
+/// when the destinations satisfy the class's pair rule (ascending or
+/// descending offsets — the rule always constrains the lower-addressed
+/// word's destination first), the first destination is not the base
+/// (which the second load still reads), and the second load sits within
+/// the rule's scan window with nothing unsafe in between. Stride,
+/// alignment, and window all come from the target's per-class
+/// [`pdgc_target::PairRule`].
 fn fuse_paired_loads(block: &mut Vec<MInst>, target: &TargetDesc, stats: &mut AllocStats) {
     let mut i = 0;
     while i < block.len() {
@@ -313,10 +301,15 @@ fn pair_partner(block: &[MInst], i: usize, target: &TargetDesc) -> Option<usize>
         return None;
     };
     let rule = *target.pair_rule(d1.class())?;
-    if d1 == base || !rule.aligned(o1) {
+    if d1 == base {
         return None;
     }
-    let want = o1 + rule.stride();
+    // A partner may sit one stride above *or* below: descending-offset
+    // pairs (the RPG's minus-stride shape) fuse with the later load
+    // supplying the lower-addressed word. The rule constrains the pair as
+    // (lower word, higher word), and alignment applies to the lower offset.
+    let plus = o1 + rule.stride();
+    let minus = o1 - rule.stride();
     let end = block.len().min(i + 1 + rule.window());
     for j in i + 1..end {
         if let MInst::Load {
@@ -325,12 +318,18 @@ fn pair_partner(block: &[MInst], i: usize, target: &TargetDesc) -> Option<usize>
             offset: o2,
         } = block[j]
         {
-            // The first load matching the partner address decides the
+            // The first load matching a partner address decides the
             // pair; scanning past it would reorder two reads of the
             // same location.
-            if b2 == base && o2 == want {
+            if b2 == base && (o2 == plus || o2 == minus) {
+                let (lo_dst, lo_off, hi_dst) = if o2 == plus {
+                    (d1, o1, d2)
+                } else {
+                    (d2, o2, d1)
+                };
                 let ok = d2 != d1
-                    && rule.allows(d1, d2)
+                    && rule.aligned(lo_off)
+                    && rule.allows(lo_dst, hi_dst)
                     && block[i + 1..j].iter().all(|x| !x.regs().contains(&d2));
                 return ok.then_some(j);
             }
@@ -444,6 +443,25 @@ mod tests {
     }
 
     #[test]
+    fn byte_load_into_nonvolatile_is_recorded() {
+        // Pinned by the symbolic checker (seed 0x0fb762ec852796b7 in
+        // tests/check_properties.proptest-regressions): the callee-save
+        // scan matched on instruction variants and missed `Load8`, so a
+        // byte load into a non-volatile register never reached
+        // `used_nonvolatiles` and the prologue would not have saved it.
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let q = b.load8(p, 0);
+        b.ret(Some(q));
+        let f = b.finish();
+        let t = TargetDesc::ia64_like(PressureModel::High);
+        let a = assign_all(&f, &[(p, PhysReg::int(0)), (q, PhysReg::int(9))]);
+        let mut stats = AllocStats::default();
+        let m = rewrite(&f, &a, &t, 0, &mut stats);
+        assert_eq!(m.used_nonvolatiles, vec![PhysReg::int(9)]);
+    }
+
+    #[test]
     fn paired_load_fused_when_rule_allows() {
         let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
         let p = b.param(0);
@@ -481,6 +499,112 @@ mod tests {
         let m2 = rewrite(&f, &a2, &t, 0, &mut stats2);
         assert_eq!(stats2.paired_loads, 0);
         assert_eq!(m2.num_paired_loads(), 0);
+    }
+
+    #[test]
+    fn minus_stride_pair_fuses() {
+        // The loads arrive high-offset-first: [p+8] then [p]. The partner
+        // sits one stride *below*, so the later load supplies the
+        // lower-addressed word (the RPG's minus-stride shape).
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let y = b.load(p, 8);
+        let x = b.load(p, 0);
+        let s = b.bin(BinOp::Add, x, y);
+        b.ret(Some(s));
+        let f = b.finish();
+        let t = TargetDesc::ia64_like(PressureModel::High); // parity rule
+        let a = assign_all(
+            &f,
+            &[
+                (p, PhysReg::int(0)),
+                (y, PhysReg::int(2)),
+                (x, PhysReg::int(1)),
+                (s, PhysReg::int(0)),
+            ],
+        );
+        let mut stats = AllocStats::default();
+        let m = rewrite(&f, &a, &t, 0, &mut stats);
+        assert_eq!(stats.paired_loads, 1, "descending-offset pair must fuse");
+        assert!(matches!(
+            m.blocks[0][0],
+            MInst::LoadPair {
+                offset: 8,
+                offset2: 0,
+                ..
+            }
+        ));
+
+        // The rule still constrains the *lower* word's destination first:
+        // under a Sequential rule, (lower, higher) = (r1, r2) fuses even
+        // though the textual order is r2 then r1...
+        let spec = || {
+            pdgc_target::ClassSpec::new(16).volatile_prefix(8).pair(
+                pdgc_target::PairRule::new(pdgc_target::PairedLoadRule::Sequential, 8),
+            )
+        };
+        let seq = TargetDesc::builder("seq")
+            .class(RegClass::Int, spec())
+            .class(RegClass::Float, spec())
+            .finish()
+            .unwrap();
+        let mut stats3 = AllocStats::default();
+        let m3 = rewrite(&f, &a, &seq, 0, &mut stats3);
+        assert_eq!(stats3.paired_loads, 1);
+        let _ = m3;
+
+        // ...but (lower, higher) = (r2, r1) breaks Sequential and must not.
+        let a2 = assign_all(
+            &f,
+            &[
+                (p, PhysReg::int(0)),
+                (y, PhysReg::int(1)),
+                (x, PhysReg::int(2)),
+                (s, PhysReg::int(0)),
+            ],
+        );
+        let mut stats4 = AllocStats::default();
+        let m4 = rewrite(&f, &a2, &seq, 0, &mut stats4);
+        assert_eq!(stats4.paired_loads, 0);
+        let _ = m4;
+    }
+
+    #[test]
+    fn minus_stride_alignment_applies_to_the_lower_offset() {
+        // Loads at 24 then 16 under an align-16 rule: the lower offset (16)
+        // is aligned, so the descending pair fuses — the old ascending-only
+        // scan also checked alignment on the first load's offset (24) and
+        // could never see this pair.
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let y = b.load(p, 24);
+        let x = b.load(p, 16);
+        let s = b.bin(BinOp::Add, x, y);
+        b.ret(Some(s));
+        let f = b.finish();
+        let spec = || {
+            pdgc_target::ClassSpec::new(16).volatile_prefix(8).pair(
+                pdgc_target::PairRule::new(pdgc_target::PairedLoadRule::Parity, 8).with_align(16),
+            )
+        };
+        let t = TargetDesc::builder("al")
+            .class(RegClass::Int, spec())
+            .class(RegClass::Float, spec())
+            .finish()
+            .unwrap();
+        let a = assign_all(
+            &f,
+            &[
+                (p, PhysReg::int(0)),
+                (y, PhysReg::int(2)),
+                (x, PhysReg::int(1)),
+                (s, PhysReg::int(0)),
+            ],
+        );
+        let mut stats = AllocStats::default();
+        let m = rewrite(&f, &a, &t, 0, &mut stats);
+        assert_eq!(stats.paired_loads, 1);
+        let _ = m;
     }
 
     #[test]

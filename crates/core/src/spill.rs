@@ -51,6 +51,12 @@ pub fn insert_spill_code(
             has_def[v.index()],
             "spilling {v} which has no definition (unlowered parameter?)"
         );
+        // A duplicate would silently burn a second frame slot and leave the
+        // first slot orphaned in `slot_of`.
+        debug_assert!(
+            slot_of[v.index()].is_none(),
+            "duplicate spilled vreg {v}"
+        );
         slot_of[v.index()] = Some(*next_slot);
         *next_slot += 1;
     }
@@ -60,7 +66,6 @@ pub fn insert_spill_code(
         let mut new = Vec::with_capacity(old.len());
         for mut inst in old {
             // Reload before uses.
-            let mut reloaded: Option<(VReg, VReg)> = None; // (orig, temp)
             let mut wanted: Vec<VReg> = Vec::new();
             inst.visit_uses(|u| {
                 if slot_of[u.index()].is_some() && !wanted.contains(&u) {
@@ -75,7 +80,6 @@ pub fn insert_spill_code(
                 outcome.new_temps.push(temp);
                 outcome.loads += 1;
                 new.push(Inst::Reload { dst: temp, slot });
-                reloaded = Some((orig, temp));
                 let (o, t) = (orig, temp);
                 inst.visit_uses_mut(|u| {
                     if *u == o {
@@ -83,7 +87,6 @@ pub fn insert_spill_code(
                     }
                 });
             }
-            let _ = reloaded;
             // Store after defs.
             match inst.def() {
                 Some(d) if slot_of[d.index()].is_some() => {
@@ -213,6 +216,19 @@ mod tests {
         assert_eq!(out.stores, 2);
         assert_eq!(out.loads, 2);
         assert!(f.verify().is_ok());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "duplicate spilled vreg")]
+    fn duplicate_spilled_vreg_panics_in_debug() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let x = b.bin_imm(BinOp::Add, p, 1);
+        b.ret(Some(x));
+        let mut f = b.finish();
+        let mut next = 0;
+        insert_spill_code(&mut f, &[x, x], &mut next);
     }
 
     #[test]

@@ -57,11 +57,13 @@ pub enum Phase {
     Spill,
     /// Post-allocation rewrite (copy elimination, caller saves, pairing).
     Rewrite,
+    /// Post-allocation symbolic checking (`pdgc-check`).
+    Check,
 }
 
 impl Phase {
     /// Every phase, in pipeline order.
-    pub const ALL: [Phase; 8] = [
+    pub const ALL: [Phase; 9] = [
         Phase::Lower,
         Phase::Analyze,
         Phase::Build,
@@ -70,6 +72,7 @@ impl Phase {
         Phase::Select,
         Phase::Spill,
         Phase::Rewrite,
+        Phase::Check,
     ];
 
     /// Stable lower-case name used in traces and JSON records.
@@ -83,6 +86,7 @@ impl Phase {
             Phase::Select => "select",
             Phase::Spill => "spill",
             Phase::Rewrite => "rewrite",
+            Phase::Check => "check",
         }
     }
 
@@ -238,6 +242,13 @@ pub enum Event {
         /// The DOT text.
         dot: String,
     },
+    /// The post-allocation symbolic checker rejected the allocation.
+    CheckFailed {
+        /// The function whose allocation failed the check.
+        func: String,
+        /// Human-readable violation descriptions, one per broken rule.
+        violations: Vec<String>,
+    },
     /// Allocation finished.
     Finish {
         /// Rounds used.
@@ -336,7 +347,7 @@ mod tests {
         let names: Vec<&str> = Phase::ALL.iter().map(|p| p.as_str()).collect();
         assert_eq!(
             names,
-            ["lower", "analyze", "build", "coalesce", "simplify", "select", "spill", "rewrite"]
+            ["lower", "analyze", "build", "coalesce", "simplify", "select", "spill", "rewrite", "check"]
         );
         for (i, p) in Phase::ALL.iter().enumerate() {
             assert_eq!(p.index(), i);

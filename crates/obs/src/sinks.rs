@@ -95,6 +95,18 @@ pub fn event_json(event: &Event, include_graphs: bool) -> Option<String> {
                 .str("dot", dot)
                 .finish()
         }
+        Event::CheckFailed { func, violations } => JsonObject::new()
+            .str("type", "check-failed")
+            .str("func", func)
+            .raw(
+                "violations",
+                &json::array(
+                    violations
+                        .iter()
+                        .map(|v| format!("\"{}\"", json::escape(v))),
+                ),
+            )
+            .finish(),
         Event::Finish {
             rounds,
             spill_instructions,
@@ -251,6 +263,16 @@ impl<W: Write> Tracer for PrettySink<W> {
                 kind.as_str(),
                 class_str(*class)
             ),
+            Event::CheckFailed { func, violations } => {
+                let _ = writeln!(
+                    self.writer,
+                    "== CHECK FAILED for `{func}`: {} violation(s) ==",
+                    violations.len()
+                );
+                violations
+                    .iter()
+                    .try_for_each(|v| writeln!(self.writer, "  ! {v}"))
+            }
             Event::Finish {
                 rounds,
                 spill_instructions,

@@ -21,10 +21,10 @@ fn usage() -> &'static str {
     "pdgc — preference-directed graph coloring register allocation (PLDI 2002)
 
 USAGE:
-    pdgc allocate <FILE> [--allocator NAME] [--target NAME] [TRACING]
-    pdgc run <FILE> [--allocator NAME] [--target NAME] [--args N,N,...] [TRACING]
-    pdgc demo [TRACING]
-    pdgc bench batch [--jobs N] [--allocator NAME] [--target NAME]
+    pdgc allocate <FILE> [--allocator NAME] [--target NAME] [--check[=MODE]] [TRACING]
+    pdgc run <FILE> [--allocator NAME] [--target NAME] [--args N,N,...] [--check[=MODE]] [TRACING]
+    pdgc demo [--check[=MODE]] [TRACING]
+    pdgc bench batch [--jobs N] [--allocator NAME] [--target NAME] [--check[=MODE]]
     pdgc --help
 
 ALLOCATORS:
@@ -41,6 +41,14 @@ TARGETS (the built-in registry; ia64-24 is the default):
                                  aligned stride-16 sequential pairs
     tight8                       constrained 8-register high-pressure
                                  target, no float pairing
+
+CHECKING:
+    --check[=MODE]      run the post-allocation symbolic checker (pdgc-check)
+                        on every allocation: it re-derives liveness, abstractly
+                        interprets the machine code, and proves every use reads
+                        the right value. MODE is `always` (default for a bare
+                        --check), `debug` (debug builds only), or `off`.
+                        A violation fails the command and prints the full list.
 
 TRACING:
     --trace PATH        write a JSON-Lines allocation trace (phase spans,
@@ -88,6 +96,7 @@ struct Options {
     trace: Option<String>,
     dump_graphs: Option<String>,
     jobs: Option<usize>,
+    check: CheckMode,
 }
 
 fn parse_options(argv: &[String]) -> Result<Options, String> {
@@ -99,6 +108,7 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
         trace: None,
         dump_graphs: None,
         jobs: None,
+        check: CheckMode::Off,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -127,6 +137,9 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
                 let v = it.next().ok_or("--jobs needs a value")?;
                 o.jobs = Some(v.parse().map_err(|_| format!("bad job count `{v}`"))?);
             }
+            "--check" => {
+                o.check = CheckMode::Always;
+            }
             other => {
                 // Also accept the --flag=value spelling.
                 if let Some(v) = other.strip_prefix("--trace=") {
@@ -135,6 +148,9 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
                     o.dump_graphs = Some(v.to_string());
                 } else if let Some(v) = other.strip_prefix("--jobs=") {
                     o.jobs = Some(v.parse().map_err(|_| format!("bad job count `{v}`"))?);
+                } else if let Some(v) = other.strip_prefix("--check=") {
+                    o.check = CheckMode::parse(v)
+                        .ok_or_else(|| format!("bad check mode `{v}` (off, debug, always)"))?;
                 } else if other.starts_with("--") {
                     return Err(format!("unknown flag {other}"));
                 } else if o.file.replace(other.to_string()).is_some() {
@@ -174,10 +190,15 @@ fn allocate_maybe_traced(
 ) -> Result<AllocOutput, String> {
     let out = match build_tracer(o)? {
         Some(mut tracer) => alloc
-            .allocate_traced(func, target, &mut tracer)
+            .allocate_checked(func, target, &mut tracer, o.check)
             .map_err(|e| e.to_string())?,
-        None => alloc.allocate(func, target).map_err(|e| e.to_string())?,
+        None => alloc
+            .allocate_checked(func, target, &mut NoopTracer, o.check)
+            .map_err(|e| e.to_string())?,
     };
+    if o.check.should_check() {
+        eprintln!("symbolic check passed ({} mode)", o.check);
+    }
     if let Some(path) = &o.trace {
         eprintln!("trace written to {path}");
     }
@@ -279,7 +300,11 @@ fn cmd_bench_batch(o: &Options) -> Result<(), String> {
         "batch: {total} functions, allocator {}, target {}, jobs 1 vs {jobs}",
         o.allocator, target.name
     );
-    let cmp = pdgc_bench::batch::compare_jobs(alloc.as_ref(), &workloads, &target, jobs, 1);
+    let cmp =
+        pdgc_bench::batch::compare_jobs_checked(alloc.as_ref(), &workloads, &target, jobs, 1, o.check);
+    if o.check.should_check() {
+        println!("symbolic check: every allocation of both runs proven ({} mode)", o.check);
+    }
     for r in [&cmp.serial, &cmp.parallel] {
         println!(
             "jobs={:<3} {:8.1} ms   {:7.1} funcs/sec   {:.2}x",

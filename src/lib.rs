@@ -15,6 +15,8 @@
 //!   code;
 //! * [`core`] — the allocator, the RPG/CPG machinery, and five baseline
 //!   allocators from the literature;
+//! * [`check`] — the post-allocation symbolic checker that independently
+//!   proves an allocation correct (see `DESIGN.md` §6f);
 //! * [`sim`] — IR/machine interpreters, differential checking, and the
 //!   cycle model behind the paper's "elapsed time" figures;
 //! * [`workloads`] — seeded SPECjvm98-analog program generation;
@@ -55,6 +57,7 @@
 #![warn(missing_docs)]
 
 pub use pdgc_analysis as analysis;
+pub use pdgc_check as check;
 pub use pdgc_core as core;
 pub use pdgc_ir as ir;
 pub use pdgc_obs as obs;
@@ -68,6 +71,7 @@ pub mod prelude {
         BriggsAllocator, CallCostAllocator, ChaitinAllocator, IteratedAllocator,
         OptimisticAllocator, PriorityAllocator,
     };
+    pub use pdgc_check::{check_allocation, CheckError, CheckMode, CheckReport, Violation};
     pub use pdgc_core::{
         AllocError, AllocOutput, AllocStats, PreferenceAllocator, PreferenceSet,
         RegisterAllocator,

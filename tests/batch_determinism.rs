@@ -1,11 +1,13 @@
 //! The parallel batch driver must be bit-identical to the serial one: the
 //! `--jobs N` worker pool may change *when* and *where* each function is
 //! allocated, but never *what* it produces. This runs the differential
-//! suite's workloads through `run_batch` at `--jobs 1` and `--jobs 4` and
-//! compares per-function statistics and rewrite fingerprints.
+//! suite's workloads through the batch driver at `--jobs 1` and `--jobs 4`
+//! and compares per-function statistics and rewrite fingerprints. The
+//! serial leg runs with the symbolic checker live (`CheckMode::Always`),
+//! so every batch allocation is also independently proven.
 
 use pdgc::prelude::*;
-use pdgc_bench::batch::run_batch;
+use pdgc_bench::batch::{run_batch, run_batch_checked};
 
 fn suite() -> Vec<Workload> {
     specjvm_suite().iter().map(generate).collect()
@@ -16,7 +18,7 @@ fn jobs4_is_bit_identical_to_jobs1_on_full_allocator() {
     let workloads = suite();
     let target = TargetDesc::ia64_like(PressureModel::Middle);
     let alloc = PreferenceAllocator::full();
-    let serial = run_batch(&alloc, &workloads, &target, 1);
+    let serial = run_batch_checked(&alloc, &workloads, &target, 1, CheckMode::Always);
     let parallel = run_batch(&alloc, &workloads, &target, 4);
 
     assert_eq!(serial.funcs.len(), parallel.funcs.len());

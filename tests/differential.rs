@@ -6,7 +6,9 @@
 //! The machine interpreter clobbers every volatile register at calls and
 //! delivers arguments only through the convention's argument registers, so
 //! caller-save omissions, argument mis-routing, bad coalescing, and spill
-//! bugs all surface here.
+//! bugs all surface here. Every allocation additionally runs under the
+//! symbolic checker (`pdgc-check`, `CheckMode::Always`), which proves the
+//! same properties statically over all paths, not just the executed one.
 //!
 //! The suite is sharded **per allocator** (one `#[test]` each, generated
 //! by `differential_tests!`), so the test harness runs allocators in
@@ -59,7 +61,7 @@ fn check_allocator_with(alloc: &dyn RegisterAllocator, pressure: PressureModel, 
             let reference = reference_for(wi, fi);
             let case_started = Instant::now();
             let out = alloc
-                .allocate(func, &target)
+                .allocate_checked(func, &target, &mut NoopTracer, CheckMode::Always)
                 .unwrap_or_else(|e| panic!("{} on {}: {e}", alloc.name(), func.name));
             let mach = run_mach(&out.mach, &target, &args, DEFAULT_FUEL).unwrap_or_else(|e| {
                 panic!("{} on {}: machine run failed: {e}", alloc.name(), func.name)
@@ -107,7 +109,7 @@ fn check_allocator_tiny(alloc: &dyn RegisterAllocator) {
         let args = default_args(func);
         let reference = reference_for(wi, fi);
         let out = alloc
-            .allocate(func, &target)
+            .allocate_checked(func, &target, &mut NoopTracer, CheckMode::Always)
             .unwrap_or_else(|e| panic!("{} on {}: {e}", alloc.name(), func.name));
         assert!(out.stats.spill_instructions > 0, "toy(8) must force spills");
         let mach = run_mach(&out.mach, &target, &args, DEFAULT_FUEL).unwrap();

@@ -30,7 +30,8 @@ fn workloads_for(target: &TargetDesc) -> Vec<Workload> {
 }
 
 /// Every allocator, on every (adapted) workload function, must produce
-/// machine code observably equivalent to the virtual-register original.
+/// machine code observably equivalent to the virtual-register original —
+/// and the symbolic checker must independently prove every allocation.
 fn check_differential(target: &TargetDesc) {
     let allocators = pdgc::all_allocators();
     for w in &workloads_for(target) {
@@ -39,9 +40,11 @@ fn check_differential(target: &TargetDesc) {
             let reference = run_ir(func, &args, DEFAULT_FUEL)
                 .unwrap_or_else(|e| panic!("{}: reference failed: {e}", func.name));
             for alloc in &allocators {
-                let out = alloc.allocate(func, target).unwrap_or_else(|e| {
-                    panic!("{} on {} ({}): {e}", alloc.name(), func.name, target.name)
-                });
+                let out = alloc
+                    .allocate_checked(func, target, &mut NoopTracer, CheckMode::Always)
+                    .unwrap_or_else(|e| {
+                        panic!("{} on {} ({}): {e}", alloc.name(), func.name, target.name)
+                    });
                 let mach = run_mach(&out.mach, target, &args, DEFAULT_FUEL).unwrap_or_else(|e| {
                     panic!(
                         "{} on {} ({}): machine run failed: {e}",
@@ -64,11 +67,13 @@ fn check_differential(target: &TargetDesc) {
 }
 
 /// The batch driver must produce bit-identical allocations at every job
-/// count on this target (same statistics, same rewrite fingerprints).
+/// count on this target (same statistics, same rewrite fingerprints),
+/// with the symbolic checker live on every allocation of both runs.
 fn check_batch_determinism(target: &TargetDesc) {
     let alloc = PreferenceAllocator::full();
     let workloads = workloads_for(target);
-    let cmp = pdgc_bench::batch::compare_jobs(&alloc, &workloads, target, 3, 1);
+    let cmp =
+        pdgc_bench::batch::compare_jobs_checked(&alloc, &workloads, target, 3, 1, CheckMode::Always);
     assert!(
         cmp.identical(),
         "parallel batch allocation diverged from serial on {}",
