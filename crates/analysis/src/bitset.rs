@@ -73,6 +73,24 @@ impl BitSet {
         self.words.iter_mut().for_each(|w| *w = 0);
     }
 
+    /// Empties the set and re-sizes it to `capacity`, reusing the word
+    /// allocation. Equivalent to `*self = BitSet::new(capacity)` but
+    /// without releasing storage — the recycling path scratch pools rely
+    /// on.
+    pub fn reset(&mut self, capacity: usize) {
+        self.words.clear();
+        self.words.resize(capacity.div_ceil(64), 0);
+        self.capacity = capacity;
+    }
+
+    /// Makes `self` an exact copy of `other`, reusing `self`'s word
+    /// allocation (unlike the derived `clone_from`, which re-allocates).
+    pub fn copy_from(&mut self, other: &BitSet) {
+        self.words.clear();
+        self.words.extend_from_slice(&other.words);
+        self.capacity = other.capacity;
+    }
+
     /// Number of elements in the set.
     pub fn len(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
@@ -238,6 +256,30 @@ mod tests {
     #[should_panic(expected = "out of")]
     fn insert_out_of_range_panics() {
         BitSet::new(4).insert(4);
+    }
+
+    #[test]
+    fn reset_reuses_allocation() {
+        let mut s = BitSet::new(200);
+        s.insert(199);
+        let cap = s.words.capacity();
+        s.reset(100);
+        assert_eq!(s.capacity(), 100);
+        assert!(s.is_empty());
+        assert!(!s.contains(199));
+        assert_eq!(s.words.capacity(), cap, "reset must retain storage");
+        s.insert(99);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![99]);
+    }
+
+    #[test]
+    fn copy_from_matches_clone() {
+        let src: BitSet = [3usize, 64, 120].into_iter().collect();
+        let mut dst = BitSet::new(1000);
+        dst.insert(999);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        assert_eq!(dst.capacity(), src.capacity());
     }
 
     #[test]

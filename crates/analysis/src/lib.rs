@@ -27,5 +27,5 @@ pub use bitset::BitSet;
 pub use cfg::Cfg;
 pub use defuse::{DefUse, InstRef};
 pub use dom::Dominators;
-pub use liveness::{CallCrossing, Liveness};
+pub use liveness::{CallCrossing, Liveness, LivenessScratch};
 pub use loops::{Loops, DEFAULT_LOOP_FREQ_FACTOR};

@@ -1,7 +1,57 @@
 //! Iterative backward liveness analysis.
 
 use crate::{BitSet, Cfg, Loops};
+use pdgc_arena::NestedPool;
 use pdgc_ir::{Block, Function, Inst, VReg};
+
+/// Resettable scratch for [`Liveness::compute_in`] and
+/// [`Liveness::call_crossings_in`].
+///
+/// Holds the gen/kill/live-in/live-out set carcasses, the traversal order
+/// buffer, and the per-block fixpoint temporaries, so recomputing liveness
+/// for a stream of functions performs no steady-state heap allocation once
+/// the scratch has grown to the largest function seen. Recycle a finished
+/// [`Liveness`] with [`Liveness::recycle`] to keep its sets in the pool.
+#[derive(Debug, Default)]
+pub struct LivenessScratch {
+    /// Pooled `Vec<BitSet>` carcasses (gen/kill/live-in/live-out shaped).
+    sets: Vec<Vec<BitSet>>,
+    order: Vec<Block>,
+    out_tmp: BitSet,
+    in_tmp: BitSet,
+    walk_tmp: BitSet,
+    crossings: NestedPool<(Block, usize)>,
+}
+
+impl LivenessScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a pooled set vector resized to `nb` sets of capacity `nv`.
+    fn take_sets(&mut self, nb: usize, nv: usize) -> Vec<BitSet> {
+        let mut v = self.sets.pop().unwrap_or_default();
+        v.truncate(nb);
+        for s in &mut v {
+            s.reset(nv);
+        }
+        while v.len() < nb {
+            v.push(BitSet::new(nv));
+        }
+        v
+    }
+
+    /// Returns a set vector to the pool, allocations intact.
+    fn put_sets(&mut self, v: Vec<BitSet>) {
+        self.sets.push(v);
+    }
+
+    /// Number of pooled set vectors (diagnostic; used by reuse tests).
+    pub fn pooled_sets(&self) -> usize {
+        self.sets.len()
+    }
+}
 
 /// Block-level live-in/live-out sets with per-instruction queries.
 ///
@@ -22,6 +72,15 @@ impl Liveness {
     ///
     /// Panics if the function still contains φ-functions.
     pub fn compute(func: &Function, cfg: &Cfg) -> Self {
+        Self::compute_in(func, cfg, &mut LivenessScratch::default())
+    }
+
+    /// Runs the fixpoint using (and refilling) pooled scratch buffers.
+    ///
+    /// Identical results to [`Liveness::compute`]; the only difference is
+    /// where the sets' storage comes from. Pass the [`Liveness`] back via
+    /// [`Liveness::recycle`] when done to keep its allocations pooled.
+    pub fn compute_in(func: &Function, cfg: &Cfg, scratch: &mut LivenessScratch) -> Self {
         let nb = func.num_blocks();
         let nv = func.num_vregs();
         for b in func.block_ids() {
@@ -31,8 +90,8 @@ impl Liveness {
             );
         }
         // gen[b]: used before any def in b; kill[b]: defined in b.
-        let mut gen = vec![BitSet::new(nv); nb];
-        let mut kill = vec![BitSet::new(nv); nb];
+        let mut gen = scratch.take_sets(nb, nv);
+        let mut kill = scratch.take_sets(nb, nv);
         for b in func.block_ids() {
             let (g, k) = (&mut gen[b.index()], &mut kill[b.index()]);
             for inst in &func.block(b).insts {
@@ -46,36 +105,51 @@ impl Liveness {
                 }
             }
         }
-        let mut live_in = vec![BitSet::new(nv); nb];
-        let mut live_out = vec![BitSet::new(nv); nb];
+        let mut live_in = scratch.take_sets(nb, nv);
+        let mut live_out = scratch.take_sets(nb, nv);
         // Iterate in postorder (reverse of RPO) for fast convergence.
-        let order: Vec<Block> = cfg.reverse_postorder().iter().rev().copied().collect();
+        scratch.order.clear();
+        scratch
+            .order
+            .extend(cfg.reverse_postorder().iter().rev().copied());
+        let out = &mut scratch.out_tmp;
+        let inn = &mut scratch.in_tmp;
+        out.reset(nv);
+        inn.reset(nv);
         let mut changed = true;
         while changed {
             changed = false;
-            for &b in &order {
-                let mut out = BitSet::new(nv);
+            for &b in &scratch.order {
+                out.clear();
                 for &s in cfg.succs(b) {
                     out.union_with(&live_in[s.index()]);
                 }
-                let mut inn = out.clone();
+                inn.copy_from(out);
                 inn.subtract(&kill[b.index()]);
                 inn.union_with(&gen[b.index()]);
-                if out != live_out[b.index()] {
-                    live_out[b.index()] = out;
+                if *out != live_out[b.index()] {
+                    live_out[b.index()].copy_from(out);
                     changed = true;
                 }
-                if inn != live_in[b.index()] {
-                    live_in[b.index()] = inn;
+                if *inn != live_in[b.index()] {
+                    live_in[b.index()].copy_from(inn);
                     changed = true;
                 }
             }
         }
+        scratch.put_sets(gen);
+        scratch.put_sets(kill);
         Liveness {
             live_in,
             live_out,
             num_vregs: nv,
         }
+    }
+
+    /// Returns this analysis's set storage to `scratch` for reuse.
+    pub fn recycle(self, scratch: &mut LivenessScratch) {
+        scratch.put_sets(self.live_in);
+        scratch.put_sets(self.live_out);
     }
 
     /// Registers live at entry to `b`.
@@ -100,11 +174,25 @@ impl Liveness {
         &self,
         func: &Function,
         b: Block,
+        f: impl FnMut(usize, &Inst, &BitSet),
+    ) {
+        let mut live = BitSet::default();
+        self.for_each_inst_backward_in(func, b, &mut live, f);
+    }
+
+    /// Like [`Liveness::for_each_inst_backward`], but reuses `live` as the
+    /// running set instead of cloning `live_out` per call. `live` is reset
+    /// on entry; its previous contents are irrelevant.
+    pub fn for_each_inst_backward_in(
+        &self,
+        func: &Function,
+        b: Block,
+        live: &mut BitSet,
         mut f: impl FnMut(usize, &Inst, &BitSet),
     ) {
-        let mut live = self.live_out[b.index()].clone();
+        live.copy_from(&self.live_out[b.index()]);
         for (i, inst) in func.block(b).insts.iter().enumerate().rev() {
-            f(i, inst, &live);
+            f(i, inst, live);
             if let Some(d) = inst.def() {
                 live.remove(d.index());
             }
@@ -117,9 +205,16 @@ impl Liveness {
     /// Computes, for every virtual register, the call sites it is live
     /// across (live after the call and not defined by it).
     pub fn call_crossings(&self, func: &Function) -> CallCrossing {
-        let mut crossings = vec![Vec::new(); self.num_vregs];
+        self.call_crossings_in(func, &mut LivenessScratch::default())
+    }
+
+    /// Scratch-backed variant of [`Liveness::call_crossings`]; recycle the
+    /// result with [`CallCrossing::recycle`].
+    pub fn call_crossings_in(&self, func: &Function, scratch: &mut LivenessScratch) -> CallCrossing {
+        let mut crossings = scratch.crossings.take(self.num_vregs);
+        let live = &mut scratch.walk_tmp;
         for b in func.block_ids() {
-            self.for_each_inst_backward(func, b, |i, inst, live_after| {
+            self.for_each_inst_backward_in(func, b, live, |i, inst, live_after| {
                 if inst.is_call() {
                     let def = inst.def();
                     for v in live_after.iter() {
@@ -179,6 +274,11 @@ impl CallCrossing {
             .iter()
             .map(|&(b, _)| loops.freq(b))
             .sum()
+    }
+
+    /// Returns the per-register site storage to `scratch` for reuse.
+    pub fn recycle(self, scratch: &mut LivenessScratch) {
+        scratch.crossings.put(self.crossings);
     }
 }
 
@@ -269,6 +369,38 @@ mod tests {
         let dom = Dominators::compute(&cfg);
         let loops = Loops::compute(&cfg, &dom);
         assert_eq!(cc.weighted(p, &loops), 10);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_compute() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let header = b.create_block();
+        let exit = b.create_block();
+        b.jump(header);
+        b.switch_to(header);
+        let z = b.iconst(0);
+        b.branch(CmpOp::Ne, p, z, header, exit);
+        b.switch_to(exit);
+        b.ret(Some(p));
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let fresh = Liveness::compute(&f, &cfg);
+
+        let mut scratch = LivenessScratch::new();
+        for _ in 0..3 {
+            let lv = Liveness::compute_in(&f, &cfg, &mut scratch);
+            for blk in f.block_ids() {
+                assert_eq!(lv.live_in(blk), fresh.live_in(blk));
+                assert_eq!(lv.live_out(blk), fresh.live_out(blk));
+            }
+            let cc = lv.call_crossings_in(&f, &mut scratch);
+            assert!(!cc.crosses_any(p));
+            cc.recycle(&mut scratch);
+            lv.recycle(&mut scratch);
+        }
+        // gen/kill + live_in/live_out all parked back in the pool.
+        assert_eq!(scratch.pooled_sets(), 4);
     }
 
     #[test]

@@ -9,11 +9,17 @@
 //! exits non-zero if they diverge, so CI can gate on determinism.
 //!
 //! Pass `--check` (or `--check=debug`) to run the post-allocation symbolic
-//! checker (`pdgc-check`) on every allocation of both runs; a violation
-//! aborts with the full violation list.
+//! checker (`pdgc-check`) on every allocation of both runs; under batch the
+//! checker replays values only in rewritten blocks (structural, pair, and
+//! frame rules still cover everything). A violation aborts with the full
+//! violation list.
+//!
+//! Pass `--min-speedup 1.5` to exit non-zero when the parallel run fails to
+//! beat serial throughput by that factor — this is how CI asserts that the
+//! per-worker scratch arenas keep batch allocation scaling with threads.
 //!
 //! ```text
-//! cargo run --release -p pdgc-bench --bin batch -- --jobs 4 [--repeat 3] [--target risc16] [--check]
+//! cargo run --release -p pdgc-bench --bin batch -- --jobs 4 [--repeat 3] [--target risc16] [--check] [--min-speedup 1.5]
 //! ```
 
 use pdgc_bench::batch::compare_jobs_checked;
@@ -53,6 +59,8 @@ fn main() {
             .map(|v| CheckMode::parse(&v).expect("bad --check mode (off, debug, always)"))
             .unwrap_or(CheckMode::Off)
     };
+    let min_speedup: Option<f64> =
+        parse_str_flag(&args, "--min-speedup").map(|v| v.parse().expect("bad --min-speedup"));
     let target_name = parse_str_flag(&args, "--target").unwrap_or_else(|| "ia64-24".to_string());
     let registry = TargetRegistry::builtin();
     let target = match registry.resolve(&target_name) {
@@ -105,5 +113,15 @@ fn main() {
     if !cmp.identical() {
         eprintln!("error: parallel allocation diverged from serial");
         std::process::exit(1);
+    }
+    if let Some(min) = min_speedup {
+        let got = cmp.speedup();
+        if got < min {
+            eprintln!(
+                "error: jobs={jobs} speedup {got:.2}x is below the required {min:.2}x"
+            );
+            std::process::exit(1);
+        }
+        println!("speedup gate: {got:.2}x >= {min:.2}x");
     }
 }

@@ -32,7 +32,8 @@
 //! the code on concrete values, it proves the correspondence for *all*
 //! inputs at once. See `DESIGN.md` §6f for the abstract domain.
 
-use pdgc_analysis::{Cfg, Liveness};
+use pdgc_analysis::{BitSet, Cfg, Liveness, LivenessScratch};
+use pdgc_arena::{NestedPool, VecPool};
 use pdgc_ir::{BinOp, Block, Function, Inst, RegClass, VReg};
 use pdgc_target::{MInst, MachFunction, PhysReg, TargetDesc};
 use std::collections::{BTreeMap, BTreeSet};
@@ -78,6 +79,45 @@ impl fmt::Display for CheckMode {
             CheckMode::DebugAssert => "debug",
             CheckMode::Always => "always",
         })
+    }
+}
+
+/// How much of the function the checker value-replays.
+///
+/// Structural IR↔machine correspondence, register-file membership, pairing
+/// rules, and frame bookkeeping are always proven for every reachable
+/// block. The scope controls the expensive part — the converged abstract
+/// replay that records stale-value and interference violations.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub enum CheckScope {
+    /// Replay every reachable block (the default; what single-function
+    /// runs use).
+    #[default]
+    Full,
+    /// Replay only the blocks where the rewriter deviated from the direct
+    /// instruction-for-instruction mapping — fused or hoisted paired
+    /// loads, eliminated copies, byte-load zero-extensions, calls and
+    /// their caller-save shadows, spill traffic — plus any block that
+    /// returns from a non-convention register. Batch drivers use this to
+    /// make re-verification pay per rewrite instead of per function.
+    Rewritten,
+}
+
+/// Resettable scratch for [`check_allocation_in`]: pools the checker's
+/// internal liveness storage and per-block buffers so batch drivers can
+/// verify many functions without re-allocating.
+#[derive(Debug, Default)]
+pub struct CheckScratch {
+    liveness: LivenessScratch,
+    deviated: VecPool<bool>,
+    live_after: NestedPool<VReg>,
+    walk: BitSet,
+}
+
+impl CheckScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -279,6 +319,45 @@ pub fn check_allocation(
     mach: &MachFunction,
     target: &TargetDesc,
 ) -> Result<CheckReport, CheckError> {
+    check_allocation_in(
+        func,
+        assignment,
+        mach,
+        target,
+        CheckScope::Full,
+        &mut CheckScratch::default(),
+    )
+}
+
+/// Like [`check_allocation`], with an explicit [`CheckScope`].
+pub fn check_allocation_scoped(
+    func: &Function,
+    assignment: &[Option<PhysReg>],
+    mach: &MachFunction,
+    target: &TargetDesc,
+    scope: CheckScope,
+) -> Result<CheckReport, CheckError> {
+    check_allocation_in(
+        func,
+        assignment,
+        mach,
+        target,
+        scope,
+        &mut CheckScratch::default(),
+    )
+}
+
+/// Like [`check_allocation`], drawing the checker's internal liveness
+/// storage and per-block buffers from `scratch`, which is reset and reused
+/// across calls.
+pub fn check_allocation_in(
+    func: &Function,
+    assignment: &[Option<PhysReg>],
+    mach: &MachFunction,
+    target: &TargetDesc,
+    scope: CheckScope,
+    scratch: &mut CheckScratch,
+) -> Result<CheckReport, CheckError> {
     let mut violations = Vec::new();
     let fail = |violations: Vec<Violation>| {
         Err(CheckError {
@@ -311,7 +390,34 @@ pub fn check_allocation(
     }
 
     let cfg = Cfg::compute(func);
-    let liveness = Liveness::compute(func, &cfg);
+    let liveness = Liveness::compute_in(func, &cfg, &mut scratch.liveness);
+    let result = check_body(
+        func, assignment, mach, target, scope, &cfg, &liveness, scratch, violations,
+    );
+    liveness.recycle(&mut scratch.liveness);
+    result
+}
+
+/// The pass sequence behind [`check_allocation_in`], split out so the
+/// pooled liveness can be recycled on every exit path.
+#[allow(clippy::too_many_arguments)]
+fn check_body(
+    func: &Function,
+    assignment: &[Option<PhysReg>],
+    mach: &MachFunction,
+    target: &TargetDesc,
+    scope: CheckScope,
+    cfg: &Cfg,
+    liveness: &Liveness,
+    scratch: &mut CheckScratch,
+    mut violations: Vec<Violation>,
+) -> Result<CheckReport, CheckError> {
+    let fail = |violations: Vec<Violation>| {
+        Err(CheckError {
+            func: func.name.clone(),
+            violations,
+        })
+    };
 
     // Rule pass: every vreg referenced by reachable code has a register of
     // its class inside the class's file.
@@ -444,10 +550,10 @@ pub fn check_allocation(
         target,
         assignment,
         spill_slots,
-        cfg: &cfg,
-        liveness: &liveness,
+        cfg,
+        liveness,
     };
-    checker.run(&mut violations);
+    checker.run(scope, scratch, &mut violations);
 
     if violations.is_empty() {
         let reachable: Vec<Block> = cfg.reverse_postorder().to_vec();
@@ -672,40 +778,80 @@ impl Checker<'_> {
         st
     }
 
-    fn run(&self, violations: &mut Vec<Violation>) {
+    fn run(&self, scope: CheckScope, scratch: &mut CheckScratch, violations: &mut Vec<Violation>) {
         let rpo: Vec<Block> = self.cfg.reverse_postorder().to_vec();
         let entry_seed = self.entry_state();
 
         // Structure pass: the correspondence walk, from a throwaway state.
+        // It also records, per block, whether the rewriter deviated from
+        // the direct instruction-for-instruction mapping; under
+        // `CheckScope::Rewritten` only those blocks are value-replayed.
+        let mut deviated = scratch.deviated.take_filled(self.func.num_blocks(), false);
         let mut structural = Vec::new();
         for &b in &rpo {
-            let _ = self.transfer(b, State::default(), Pass::Structure, &[], &mut structural);
+            let _ = self.transfer(
+                b,
+                State::default(),
+                Pass::Structure,
+                &[],
+                &mut deviated[b.index()],
+                &mut structural,
+            );
         }
         if !structural.is_empty() {
             violations.append(&mut structural);
+            scratch.deviated.put(deviated);
             return;
         }
 
+        // A value returned from a non-convention register is a violation
+        // the direct mapping can still exhibit (`Ret` matches machine
+        // `Ret` regardless of the register): route those blocks into the
+        // replayed set.
+        for &b in &rpo {
+            for inst in &self.func.block(b).insts {
+                if let Inst::Ret { value: Some(v) } = inst {
+                    if self.reg(*v) != self.target.ret_reg(self.func.class_of(*v)) {
+                        deviated[b.index()] = true;
+                    }
+                }
+            }
+        }
+
+        let replay_all = scope == CheckScope::Full;
+        let any_replay = replay_all || deviated.iter().any(|&d| d);
+        let mut sink = false;
+
         // Fixpoint: iterate block out-states to convergence (a must-
         // analysis over a finite lattice of shrinking sets, so this
-        // terminates).
+        // terminates). Worklist-driven, ordered by RPO position: a block
+        // re-runs only when a predecessor's out-state changed, so acyclic
+        // regions converge in a single sweep instead of sweep-per-change.
+        // Skipped entirely when no block will be replayed — the converged
+        // states would go unread.
         let mut outs: Vec<Option<State>> = vec![None; self.func.num_blocks()];
-        loop {
-            let mut changed = false;
-            for &b in &rpo {
+        if any_replay {
+            let mut pos_of = vec![usize::MAX; self.func.num_blocks()];
+            for (p, &b) in rpo.iter().enumerate() {
+                pos_of[b.index()] = p;
+            }
+            let mut work: BTreeSet<usize> = (0..rpo.len()).collect();
+            while let Some(p) = work.pop_first() {
+                let b = rpo[p];
                 let Some(inp) = self.in_state(b, &outs, &entry_seed) else {
                     continue;
                 };
                 let out = self
-                    .transfer(b, inp, Pass::Fixpoint, &[], &mut Vec::new())
+                    .transfer(b, inp, Pass::Fixpoint, &[], &mut sink, &mut Vec::new())
                     .expect("correspondence verified by the structure pass");
                 if outs[b.index()].as_ref() != Some(&out) {
                     outs[b.index()] = Some(out);
-                    changed = true;
+                    for &s in self.cfg.succs(b) {
+                        if pos_of[s.index()] != usize::MAX {
+                            work.insert(pos_of[s.index()]);
+                        }
+                    }
                 }
-            }
-            if !changed {
-                break;
             }
         }
 
@@ -737,18 +883,24 @@ impl Checker<'_> {
             }
         }
 
-        // Final pass: replay each block from its converged in-state and
-        // record every value violation.
+        // Final pass: replay each in-scope block from its converged
+        // in-state and record every value violation.
         for &b in &rpo {
+            if !(replay_all || deviated[b.index()]) {
+                continue;
+            }
             let Some(inp) = self.in_state(b, &outs, &entry_seed) else {
                 continue;
             };
-            let mut live_after: Vec<Vec<VReg>> = vec![Vec::new(); self.func.block(b).insts.len()];
-            self.liveness.for_each_inst_backward(self.func, b, |i, _, la| {
-                live_after[i] = la.iter().map(VReg::new).collect();
-            });
-            let _ = self.transfer(b, inp, Pass::Final, &live_after, violations);
+            let mut live_after = scratch.live_after.take(self.func.block(b).insts.len());
+            self.liveness
+                .for_each_inst_backward_in(self.func, b, &mut scratch.walk, |i, _, la| {
+                    live_after[i].extend(la.iter().map(VReg::new));
+                });
+            let _ = self.transfer(b, inp, Pass::Final, &live_after, &mut sink, violations);
+            scratch.live_after.put(live_after);
         }
+        scratch.deviated.put(deviated);
     }
 
     /// The meet-over-predecessors in-state of `b` (plus the argument seed
@@ -778,6 +930,7 @@ impl Checker<'_> {
         mut st: State,
         pass: Pass,
         live_after: &[Vec<VReg>],
+        deviated: &mut bool,
         violations: &mut Vec<Violation>,
     ) -> Result<State, ()> {
         let ir = &self.func.block(b).insts;
@@ -859,6 +1012,10 @@ impl Checker<'_> {
                             format!("`{rd} = {rs}`"),
                             MInst::Copy { dst: md, src: ms } if *md == rd && *ms == rs
                         );
+                    } else {
+                        // A coalesced copy emits nothing: the value claim
+                        // it makes is exactly what the replay must verify.
+                        *deviated = true;
                     }
                     use_check!(*src);
                     st.kill(*dst);
@@ -916,6 +1073,7 @@ impl Checker<'_> {
                             offset: mo,
                             offset2,
                         }) if *dst1 == rd && *mb == rb && mo == offset => {
+                            *deviated = true;
                             let (dst2, offset2) = (*dst2, *offset2);
                             mi += 1;
                             ledger.retain(|h| h.dst2 != rd && h.dst2 != dst2);
@@ -946,6 +1104,7 @@ impl Checker<'_> {
                                     found(mi)
                                 );
                             };
+                            *deviated = true;
                             let h = ledger.remove(pos);
                             // The base was consumed when the pair issued:
                             // the vreg used *here* must have held the base
@@ -972,6 +1131,7 @@ impl Checker<'_> {
                             if *md == rd && *mb == rb && mo == offset
                     );
                     if !self.target.is_byte_capable(rd) {
+                        *deviated = true;
                         expect!(
                             i,
                             format!("zero-extension `{rd} &= 0xff` after a byte load into {rd}"),
@@ -1020,6 +1180,9 @@ impl Checker<'_> {
                     st.write(rd, BTreeSet::from([*dst]));
                 }
                 Inst::Call { callee, args, ret } => {
+                    // Calls clobber every volatile and grow caller-save
+                    // shadows: always value-interesting.
+                    *deviated = true;
                     // Nothing hoisted survives a call.
                     ledger.clear();
                     // Caller-save stores: shadow slots sit above the IR
@@ -1143,6 +1306,7 @@ impl Checker<'_> {
                     }
                 }
                 Inst::Reload { dst, slot } => {
+                    *deviated = true;
                     let rd = self.reg(*dst);
                     expect!(
                         i,
@@ -1164,6 +1328,7 @@ impl Checker<'_> {
                     st.write(rd, set);
                 }
                 Inst::Spill { src, slot } => {
+                    *deviated = true;
                     let rs = self.reg(*src);
                     expect!(
                         i,
@@ -1538,6 +1703,119 @@ mod tests {
         let m = mach_of(&f, vec![vec![MInst::Ret]], 0);
         let err = check_allocation(&f, &a, &m, &target()).unwrap_err();
         assert!(kinds(&err).contains(&"unassigned"), "{err}");
+    }
+
+    #[test]
+    fn rewritten_scope_still_catches_call_clobbers() {
+        // Same shape as `rejects_a_missing_caller_save`: p lives in
+        // volatile r0 across a call with no save/restore. Call blocks are
+        // always in the replayed set, so the narrow scope still sees it.
+        let mut b = FunctionBuilder::new("nosave", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        b.call("ext", vec![], None);
+        let s = b.bin(BinOp::Add, p, p);
+        b.ret(Some(s));
+        let f = b.finish();
+        let a = assign(&[(0, r(0)), (1, r(0))], f.num_vregs());
+        let m = mach_of(
+            &f,
+            vec![vec![
+                MInst::Call {
+                    callee: pdgc_ir::CalleeId::new(0),
+                    arg_regs: vec![],
+                    ret_reg: None,
+                },
+                MInst::Bin { op: BinOp::Add, dst: r(0), lhs: r(0), rhs: r(0) },
+                MInst::Ret,
+            ]],
+            0,
+        );
+        let err =
+            check_allocation_scoped(&f, &a, &m, &target(), CheckScope::Rewritten).unwrap_err();
+        assert!(kinds(&err).contains(&"stale-value"), "{err}");
+    }
+
+    #[test]
+    fn rewritten_scope_catches_a_wrong_return_register() {
+        let f = sum2();
+        // The sum lands in r3, not the convention's return register r0;
+        // the machine code is otherwise a faithful direct mapping.
+        let a = assign(&[(0, r(0)), (1, r(1)), (2, r(2)), (3, r(3))], f.num_vregs());
+        let m = mach_of(
+            &f,
+            vec![vec![
+                MInst::Load { dst: r(1), base: r(0), offset: 0 },
+                MInst::Load { dst: r(2), base: r(0), offset: 8 },
+                MInst::Bin { op: BinOp::Add, dst: r(3), lhs: r(1), rhs: r(2) },
+                MInst::Ret,
+            ]],
+            0,
+        );
+        let err =
+            check_allocation_scoped(&f, &a, &m, &target(), CheckScope::Rewritten).unwrap_err();
+        assert!(kinds(&err).contains(&"bad-register"), "{err}");
+    }
+
+    #[test]
+    fn rewritten_scope_skips_replay_of_directly_mapped_blocks() {
+        // The interfering-assignment function from
+        // `rejects_interfering_vregs_in_one_register` contains no rewriter
+        // deviation at all, so the narrow scope intentionally accepts it:
+        // that is the pay-per-rewrite trade batch runs opt into. The full
+        // scope must keep rejecting it.
+        let f = sum2();
+        let a = assign(&[(0, r(0)), (1, r(1)), (2, r(1)), (3, r(0))], f.num_vregs());
+        let m = mach_of(
+            &f,
+            vec![vec![
+                MInst::Load { dst: r(1), base: r(0), offset: 0 },
+                MInst::Load { dst: r(1), base: r(0), offset: 8 },
+                MInst::Bin { op: BinOp::Add, dst: r(0), lhs: r(1), rhs: r(1) },
+                MInst::Ret,
+            ]],
+            0,
+        );
+        assert!(check_allocation(&f, &a, &m, &target()).is_err());
+        check_allocation_scoped(&f, &a, &m, &target(), CheckScope::Rewritten).unwrap();
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_checks() {
+        let f = sum2();
+        let good = assign(&[(0, r(0)), (1, r(1)), (2, r(2)), (3, r(0))], f.num_vregs());
+        let bad = assign(&[(0, r(0)), (1, r(1)), (2, r(1)), (3, r(0))], f.num_vregs());
+        let m_good = mach_of(
+            &f,
+            vec![vec![
+                MInst::LoadPair { dst1: r(1), dst2: r(2), base: r(0), offset: 0, offset2: 8 },
+                MInst::Bin { op: BinOp::Add, dst: r(0), lhs: r(1), rhs: r(2) },
+                MInst::Ret,
+            ]],
+            0,
+        );
+        let m_bad = mach_of(
+            &f,
+            vec![vec![
+                MInst::LoadPair { dst1: r(1), dst2: r(1), base: r(0), offset: 0, offset2: 8 },
+                MInst::Bin { op: BinOp::Add, dst: r(0), lhs: r(1), rhs: r(1) },
+                MInst::Ret,
+            ]],
+            0,
+        );
+        let mut scratch = CheckScratch::new();
+        for _ in 0..3 {
+            for scope in [CheckScope::Full, CheckScope::Rewritten] {
+                let pooled =
+                    check_allocation_in(&f, &good, &m_good, &target(), scope, &mut scratch);
+                assert_eq!(pooled, check_allocation_scoped(&f, &good, &m_good, &target(), scope));
+                let pooled = check_allocation_in(&f, &bad, &m_bad, &target(), scope, &mut scratch);
+                let fresh = check_allocation_scoped(&f, &bad, &m_bad, &target(), scope);
+                assert_eq!(
+                    pooled.as_ref().map_err(kinds),
+                    fresh.as_ref().map_err(kinds)
+                );
+            }
+        }
     }
 
     #[test]

@@ -2,18 +2,20 @@
 
 use crate::cpg::Cpg;
 use crate::pipeline::{
-    run_pipeline, run_pipeline_traced, Analyses, ClassCtx, ClassStrategy, RoundOutcome,
+    run_pipeline, run_pipeline_scratch, run_pipeline_traced, Analyses, ClassCtx, ClassStrategy,
+    RoundOutcome,
 };
 use crate::rpg::build_rpg;
-use crate::select::{select_traced, SelectConfig};
-use crate::simplify::{simplify, SimplifyMode};
+use crate::scratch::PhaseScratch;
+use crate::select::{select_traced_in, SelectConfig};
+use crate::simplify::{simplify_in, SimplifyMode};
 use pdgc_ir::Function;
 use pdgc_obs::{with_span, Event, GraphKind, Phase, Tracer};
 use pdgc_target::TargetDesc;
 
 pub use crate::pipeline::{AllocError, AllocOutput};
 pub use crate::rpg::PreferenceSet;
-pub use pdgc_check::CheckMode;
+pub use pdgc_check::{CheckMode, CheckScope};
 
 /// A complete register allocator: lowers, colors, spills, and rewrites.
 ///
@@ -67,6 +69,36 @@ pub trait RegisterAllocator {
     ) -> Result<AllocOutput, AllocError> {
         let out = self.allocate_traced(func, target, tracer)?;
         crate::pipeline::check_output(&out, target, tracer, check)?;
+        Ok(out)
+    }
+
+    /// [`Self::allocate_checked`] drawing every phase's working storage
+    /// from a per-worker [`PhaseScratch`] and scoping the checker with
+    /// `scope`. Batch drivers keep one scratch per worker thread and call
+    /// this in a loop; after the pools warm up the steady state performs
+    /// (near) zero heap allocation per function.
+    ///
+    /// The default still allocates fresh storage (only the checker is
+    /// pooled) and defers to [`Self::allocate_traced`]; scratch-aware
+    /// allocators override it with the fully pooled pipeline. Either way
+    /// the result is bit-identical to [`Self::allocate_checked`] with
+    /// [`CheckScope::Full`].
+    ///
+    /// # Errors
+    ///
+    /// See [`AllocError`]; additionally [`AllocError::CheckFailed`] when
+    /// the checker finds a violation.
+    fn allocate_scratch(
+        &self,
+        func: &Function,
+        target: &TargetDesc,
+        tracer: &mut dyn Tracer,
+        check: CheckMode,
+        scope: CheckScope,
+        scratch: &mut PhaseScratch,
+    ) -> Result<AllocOutput, AllocError> {
+        let out = self.allocate_traced(func, target, tracer)?;
+        crate::pipeline::check_output_in(&out, target, tracer, check, scope, &mut scratch.check)?;
         Ok(out)
     }
 }
@@ -137,6 +169,9 @@ impl ClassStrategy for PreferenceAllocator {
     ) -> RoundOutcome {
         let round = ctx.round as u32;
         let class = ctx.class;
+        // No early return below: the class scratch taken here is always
+        // moved back into `ctx` before the outcome is returned.
+        let mut cls = std::mem::take(&mut ctx.scratch);
         let cost = ctx.cost_model(analyses);
         let rpg = build_rpg(ctx.func, &ctx.nodes, &cost, &ctx.copies, self.prefs, target);
         let mut costs = ctx.spill_costs.clone();
@@ -182,9 +217,17 @@ impl ClassStrategy for PreferenceAllocator {
             }
         }
         let cpg = with_span(tracer, Phase::Simplify, round, Some(class), || {
-            let sr = simplify(&mut ctx.ifg, ctx.k, &costs, SimplifyMode::Optimistic);
+            let sr = simplify_in(
+                &mut ctx.ifg,
+                ctx.k,
+                &costs,
+                SimplifyMode::Optimistic,
+                &mut cls.simplify,
+            );
             ctx.ifg.restore_all();
-            Cpg::build(&ctx.ifg, &sr.stack, &sr.optimistic, ctx.k)
+            let cpg = Cpg::build_in(&ctx.ifg, &sr.stack, &sr.optimistic, ctx.k, &mut cls.cpg);
+            sr.recycle(&mut cls.simplify);
+            cpg
         });
         if tracer.wants_graphs() {
             for (kind, dot) in [
@@ -202,7 +245,7 @@ impl ClassStrategy for PreferenceAllocator {
         // `with_span` can't wrap this call: select itself needs the tracer,
         // so the span is timed by hand around the traced select.
         let started = tracer.enabled().then(std::time::Instant::now);
-        let res = select_traced(
+        let res = select_traced_in(
             &ctx.ifg,
             &ctx.nodes,
             &rpg,
@@ -213,6 +256,7 @@ impl ClassStrategy for PreferenceAllocator {
             config,
             round,
             tracer,
+            &mut cls.select,
         );
         if let Some(t0) = started {
             tracer.record(&Event::Span {
@@ -222,6 +266,7 @@ impl ClassStrategy for PreferenceAllocator {
                 nanos: t0.elapsed().as_nanos(),
             });
         }
+        cpg.recycle(&mut cls.cpg);
         let mut assignment = res.assignment;
         let mut spilled = res.spilled;
         if self.pre_coalesce {
@@ -240,6 +285,7 @@ impl ClassStrategy for PreferenceAllocator {
                 }
             }
         }
+        ctx.scratch = cls;
         RoundOutcome { assignment, spilled }
     }
 }
@@ -265,6 +311,20 @@ impl RegisterAllocator for PreferenceAllocator {
         tracer: &mut dyn Tracer,
     ) -> Result<AllocOutput, AllocError> {
         run_pipeline_traced(func, target, self, tracer)
+    }
+
+    fn allocate_scratch(
+        &self,
+        func: &Function,
+        target: &TargetDesc,
+        tracer: &mut dyn Tracer,
+        check: CheckMode,
+        scope: CheckScope,
+        scratch: &mut PhaseScratch,
+    ) -> Result<AllocOutput, AllocError> {
+        let out = run_pipeline_scratch(func, target, self, tracer, scratch)?;
+        crate::pipeline::check_output_in(&out, target, tracer, check, scope, &mut scratch.check)?;
+        Ok(out)
     }
 }
 

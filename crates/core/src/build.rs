@@ -7,10 +7,32 @@
 //! the construction needed to reproduce the paper's Figure 7 interference
 //! graph exactly.
 
-use crate::ifg::InterferenceGraph;
+use crate::ifg::{IfgScratch, InterferenceGraph};
 use crate::node::{NodeId, NodeMap};
-use pdgc_analysis::{Liveness, Loops};
+use pdgc_analysis::{BitSet, Liveness, Loops};
+use pdgc_arena::VecPool;
 use pdgc_ir::{Block, Function, Inst, VReg};
+
+/// Resettable scratch for [`build_ifg_in`] and [`collect_copies_in`].
+#[derive(Debug, Default)]
+pub struct BuildScratch {
+    entry_live: Vec<NodeId>,
+    walk: BitSet,
+    copies: VecPool<CopyRel>,
+}
+
+impl BuildScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy-relatedness vector taken from
+    /// [`collect_copies_in`] to the pool.
+    pub fn recycle_copies(&mut self, copies: Vec<CopyRel>) {
+        self.copies.put(copies);
+    }
+}
 
 /// A copy-relatedness record: the move `dst = src` at frequency `freq`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -33,15 +55,36 @@ pub fn build_ifg(
     liveness: &Liveness,
     nodes: &NodeMap,
 ) -> InterferenceGraph {
-    let mut g = InterferenceGraph::new(nodes.num_nodes(), nodes.num_phys());
+    build_ifg_in(
+        func,
+        liveness,
+        nodes,
+        &mut IfgScratch::default(),
+        &mut BuildScratch::default(),
+    )
+}
+
+/// Like [`build_ifg`], drawing the graph's storage and the construction
+/// temporaries from pooled scratch.
+pub fn build_ifg_in(
+    func: &Function,
+    liveness: &Liveness,
+    nodes: &NodeMap,
+    ifg_scratch: &mut IfgScratch,
+    scratch: &mut BuildScratch,
+) -> InterferenceGraph {
+    let mut g = InterferenceGraph::new_in(nodes.num_nodes(), nodes.num_phys(), ifg_scratch);
 
     // Values live into the entry block are all defined "at entry"
     // (pre-lowering parameters): make them pairwise interfere.
-    let entry_live: Vec<NodeId> = liveness
-        .live_in(Block::ENTRY)
-        .iter()
-        .filter_map(|v| nodes.node_of(VReg::new(v)))
-        .collect();
+    let entry_live = &mut scratch.entry_live;
+    entry_live.clear();
+    entry_live.extend(
+        liveness
+            .live_in(Block::ENTRY)
+            .iter()
+            .filter_map(|v| nodes.node_of(VReg::new(v))),
+    );
     for (i, &a) in entry_live.iter().enumerate() {
         for &b in &entry_live[i + 1..] {
             g.add_edge(a, b);
@@ -49,7 +92,7 @@ pub fn build_ifg(
     }
 
     for b in func.block_ids() {
-        liveness.for_each_inst_backward(func, b, |_, inst, live_after| {
+        liveness.for_each_inst_backward_in(func, b, &mut scratch.walk, |_, inst, live_after| {
             let Some(d) = inst.def() else { return };
             let Some(nd) = nodes.node_of(d) else { return };
             let copy_src = inst.as_copy().map(|(_, s)| s);
@@ -71,7 +114,18 @@ pub fn build_ifg(
 /// `Copy { dst, src }` whose endpoints map to *distinct* nodes of this
 /// universe, weighted by loop frequency.
 pub fn collect_copies(func: &Function, loops: &Loops, nodes: &NodeMap) -> Vec<CopyRel> {
-    let mut out = Vec::new();
+    collect_copies_in(func, loops, nodes, &mut BuildScratch::default())
+}
+
+/// Like [`collect_copies`], drawing the result vector from pooled scratch;
+/// return it with [`BuildScratch::recycle_copies`] when done.
+pub fn collect_copies_in(
+    func: &Function,
+    loops: &Loops,
+    nodes: &NodeMap,
+    scratch: &mut BuildScratch,
+) -> Vec<CopyRel> {
+    let mut out = scratch.copies.take();
     for b in func.block_ids() {
         for (i, inst) in func.block(b).insts.iter().enumerate() {
             if let Inst::Copy { dst, src } = inst {

@@ -17,6 +17,31 @@
 
 use crate::ifg::InterferenceGraph;
 use crate::node::NodeId;
+use pdgc_arena::{NestedPool, VecPool};
+
+/// Reusable storage for [`Cpg::build_in`]: the DAG's own vectors plus the
+/// construction temporaries (working-graph flags, degrees, the reused
+/// neighbor buffer, and the epoch-stamped reachability sweep). One scratch
+/// serves any number of sequential builds; recycle each [`Cpg`] with
+/// [`Cpg::recycle`] when done so the next build is allocation-free.
+#[derive(Debug, Default)]
+pub struct CpgScratch {
+    flags: VecPool<bool>,
+    adj: NestedPool<NodeId>,
+    degree: VecPool<usize>,
+    /// Reachability stamps: `stamp[i] == epoch` means "seen this sweep",
+    /// so a new sweep is an increment, not an O(n) clear.
+    stamp: VecPool<u32>,
+    neighbors: Vec<NodeId>,
+    reach_stack: Vec<NodeId>,
+}
+
+impl CpgScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// The Coloring Precedence Graph over one class's live-range nodes.
 ///
@@ -52,32 +77,42 @@ impl Cpg {
         optimistic: &[NodeId],
         k: usize,
     ) -> Cpg {
+        Self::build_in(ifg, stack, optimistic, k, &mut CpgScratch::default())
+    }
+
+    /// Like [`Cpg::build`], drawing the DAG's storage and every
+    /// construction temporary from pooled scratch. Return the DAG with
+    /// [`Cpg::recycle`] when done.
+    pub fn build_in(
+        ifg: &InterferenceGraph,
+        stack: &[NodeId],
+        optimistic: &[NodeId],
+        k: usize,
+        scratch: &mut CpgScratch,
+    ) -> Cpg {
         let n = ifg.num_nodes();
         let mut cpg = Cpg {
             k,
-            present: vec![false; n],
-            succs: vec![Vec::new(); n],
-            preds: vec![Vec::new(); n],
-            from_top: vec![false; n],
-            to_bottom: vec![false; n],
+            present: scratch.flags.take_filled(n, false),
+            succs: scratch.adj.take(n),
+            preds: scratch.adj.take(n),
+            from_top: scratch.flags.take_filled(n, false),
+            to_bottom: scratch.flags.take_filled(n, false),
         };
 
         let is_lr = |x: NodeId| !ifg.is_precolored(x) && !ifg.is_merged(x);
         // Working interference graph: live-range nodes of the stack.
-        let mut removed = vec![false; n];
-        let lr_neighbors = |x: NodeId, removed: &[bool]| -> Vec<NodeId> {
-            ifg.neighbors_slice(x)
-                .iter()
-                .copied()
-                .filter(|&y| is_lr(y) && !removed[y.index()])
-                .collect()
-        };
-        let mut degree = vec![0usize; n];
+        let mut removed = scratch.flags.take_filled(n, false);
+        let mut degree = scratch.degree.take_filled(n, 0);
         for &x in stack {
-            degree[x.index()] = lr_neighbors(x, &removed).len();
+            degree[x.index()] = ifg
+                .neighbors_slice(x)
+                .iter()
+                .filter(|&&y| is_lr(y))
+                .count();
         }
 
-        let mut ready = vec![false; n];
+        let mut ready = scratch.flags.take_filled(n, false);
 
         // Step 4: initial low-degree nodes, then spilled (optimistic) nodes.
         for &x in stack {
@@ -95,20 +130,30 @@ impl Cpg {
             }
         }
 
+        // Epoch-stamped "seen" marks for the per-pop reachability sweep:
+        // bumping the epoch invalidates the whole previous sweep at once.
+        let mut stamp = scratch.stamp.take_filled(n, 0);
+        let mut epoch = 0u32;
+        let mut reach_stack = std::mem::take(&mut scratch.reach_stack);
+        let mut neighbors = std::mem::take(&mut scratch.neighbors);
+
         // Steps 5–9: replay removals.
         for &popped in stack {
             removed[popped.index()] = true;
             cpg.present[popped.index()] = true;
-            let neighbors = lr_neighbors(popped, &removed);
+            neighbors.clear();
+            neighbors.extend(
+                ifg.neighbors_slice(popped)
+                    .iter()
+                    .copied()
+                    .filter(|&y| is_lr(y) && !removed[y.index()]),
+            );
+            let mut any_non_ready = false;
             for &x in &neighbors {
                 cpg.present[x.index()] = true;
+                any_non_ready |= !ready[x.index()];
             }
-            let non_ready: Vec<NodeId> = neighbors
-                .iter()
-                .copied()
-                .filter(|&x| !ready[x.index()])
-                .collect();
-            if non_ready.is_empty() {
+            if !any_non_ready {
                 cpg.from_top[popped.index()] = true;
             } else {
                 // Transitive reduction, exploiting the construction order:
@@ -119,10 +164,24 @@ impl Cpg {
                 // existing `x → w` made transitive by the new `x → popped`
                 // with `popped →* w` — computable with ONE reachability
                 // sweep from `popped`.
-                let reach = cpg.reachable_set(popped);
-                for x in non_ready {
+                epoch += 1;
+                stamp[popped.index()] = epoch;
+                reach_stack.clear();
+                reach_stack.push(popped);
+                while let Some(x) = reach_stack.pop() {
+                    for &y in &cpg.succs[x.index()] {
+                        if stamp[y.index()] != epoch {
+                            stamp[y.index()] = epoch;
+                            reach_stack.push(y);
+                        }
+                    }
+                }
+                for &x in &neighbors {
+                    if ready[x.index()] {
+                        continue;
+                    }
                     cpg.succs[x.index()].retain(|&w| {
-                        let keep = !reach[w.index()];
+                        let keep = stamp[w.index()] != epoch;
                         if !keep {
                             cpg.preds[w.index()].retain(|&p| p != x);
                         }
@@ -140,23 +199,22 @@ impl Cpg {
                 }
             }
         }
+        scratch.flags.put(removed);
+        scratch.flags.put(ready);
+        scratch.degree.put(degree);
+        scratch.stamp.put(stamp);
+        scratch.reach_stack = reach_stack;
+        scratch.neighbors = neighbors;
         cpg
     }
 
-    /// Marks every node reachable from `from` (inclusive).
-    fn reachable_set(&self, from: NodeId) -> Vec<bool> {
-        let mut seen = vec![false; self.succs.len()];
-        seen[from.index()] = true;
-        let mut stack = vec![from];
-        while let Some(x) = stack.pop() {
-            for &y in &self.succs[x.index()] {
-                if !seen[y.index()] {
-                    seen[y.index()] = true;
-                    stack.push(y);
-                }
-            }
-        }
-        seen
+    /// Returns the DAG's storage to `scratch` for the next build.
+    pub fn recycle(self, scratch: &mut CpgScratch) {
+        scratch.flags.put(self.present);
+        scratch.flags.put(self.from_top);
+        scratch.flags.put(self.to_bottom);
+        scratch.adj.put(self.succs);
+        scratch.adj.put(self.preds);
     }
 
     /// Whether `to` is reachable from `from` along CPG edges (reflexive).

@@ -32,13 +32,50 @@
 //! in `tests/properties.rs`.
 
 use crate::node::NodeId;
-use pdgc_analysis::BitSet;
+use pdgc_arena::{NestedPool, VecPool};
+
+/// Resettable scratch pools for [`InterferenceGraph::new_in`].
+///
+/// The bit matrix is the single largest per-function allocation in the
+/// pipeline (`n²` bits); the adjacency lists are the most numerous. Both
+/// come out of these pools and go back via
+/// [`InterferenceGraph::recycle`], so a worker colors a stream of
+/// functions with a steady-state allocation count of zero here.
+#[derive(Debug, Default)]
+pub struct IfgScratch {
+    words: VecPool<u64>,
+    adj: NestedPool<NodeId>,
+    alias: VecPool<NodeId>,
+    flags: VecPool<bool>,
+    degree: VecPool<usize>,
+}
+
+impl IfgScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of pooled bit-matrix buffers (diagnostic; used by reuse
+    /// tests).
+    pub fn pooled_matrices(&self) -> usize {
+        self.words.pooled()
+    }
+}
 
 /// An undirected interference graph over a dense node universe.
+///
+/// The bit matrix is one flat row-major `Vec<u64>` (a single allocation
+/// bump-style, rather than one `BitSet` per row) so pooled reuse is a
+/// single buffer swap and row probes stay cache-local.
 #[derive(Clone, Debug)]
 pub struct InterferenceGraph {
     num_phys: usize,
-    matrix: Vec<BitSet>,
+    num_nodes: usize,
+    /// Words per bit-matrix row.
+    stride: usize,
+    /// `num_nodes * stride` words; bit `b` of row `a` means `a` ↔ `b`.
+    words: Vec<u64>,
     adj: Vec<Vec<NodeId>>,
     alias: Vec<NodeId>,
     merged: Vec<bool>,
@@ -50,14 +87,26 @@ impl InterferenceGraph {
     /// Creates a graph with `n` nodes, the first `num_phys` of which are
     /// precolored. Distinct precolored nodes are made mutually interfering.
     pub fn new(n: usize, num_phys: usize) -> Self {
+        Self::new_in(n, num_phys, &mut IfgScratch::default())
+    }
+
+    /// Like [`InterferenceGraph::new`], drawing all storage from pooled
+    /// scratch. Return the graph with [`InterferenceGraph::recycle`] when
+    /// done to keep its buffers pooled.
+    pub fn new_in(n: usize, num_phys: usize, scratch: &mut IfgScratch) -> Self {
+        let stride = n.div_ceil(64);
+        let mut alias = scratch.alias.take();
+        alias.extend((0..n).map(NodeId::new));
         let mut g = InterferenceGraph {
             num_phys,
-            matrix: vec![BitSet::new(n); n],
-            adj: vec![Vec::new(); n],
-            alias: (0..n).map(NodeId::new).collect(),
-            merged: vec![false; n],
-            removed: vec![false; n],
-            degree: vec![0; n],
+            num_nodes: n,
+            stride,
+            words: scratch.words.take_filled(n * stride, 0),
+            adj: scratch.adj.take(n),
+            alias,
+            merged: scratch.flags.take_filled(n, false),
+            removed: scratch.flags.take_filled(n, false),
+            degree: scratch.degree.take_filled(n, 0),
         };
         for a in 0..num_phys {
             for b in (a + 1)..num_phys {
@@ -67,9 +116,29 @@ impl InterferenceGraph {
         g
     }
 
+    /// Returns this graph's storage to `scratch` for reuse.
+    pub fn recycle(self, scratch: &mut IfgScratch) {
+        scratch.words.put(self.words);
+        scratch.adj.put(self.adj);
+        scratch.alias.put(self.alias);
+        scratch.flags.put(self.merged);
+        scratch.flags.put(self.removed);
+        scratch.degree.put(self.degree);
+    }
+
     /// Number of nodes in the universe.
     pub fn num_nodes(&self) -> usize {
-        self.matrix.len()
+        self.num_nodes
+    }
+
+    /// Whether matrix bit (`a`, `b`) is set.
+    fn bit(&self, a: usize, b: usize) -> bool {
+        self.words[a * self.stride + b / 64] & (1 << (b % 64)) != 0
+    }
+
+    /// Sets matrix bit (`a`, `b`).
+    fn set_bit(&mut self, a: usize, b: usize) {
+        self.words[a * self.stride + b / 64] |= 1 << (b % 64);
     }
 
     /// Number of precolored nodes.
@@ -105,11 +174,11 @@ impl InterferenceGraph {
     /// `b`. Self-edges are ignored. Returns `true` if the edge is new.
     pub fn add_edge(&mut self, a: NodeId, b: NodeId) -> bool {
         let (a, b) = (self.rep(a), self.rep(b));
-        if a == b || self.matrix[a.index()].contains(b.index()) {
+        if a == b || self.bit(a.index(), b.index()) {
             return false;
         }
-        self.matrix[a.index()].insert(b.index());
-        self.matrix[b.index()].insert(a.index());
+        self.set_bit(a.index(), b.index());
+        self.set_bit(b.index(), a.index());
         self.adj[a.index()].push(b);
         self.adj[b.index()].push(a);
         // Degrees are maintained for live nodes only; a removed endpoint
@@ -125,7 +194,7 @@ impl InterferenceGraph {
     /// Whether the representatives of `a` and `b` interfere.
     pub fn interferes(&self, a: NodeId, b: NodeId) -> bool {
         let (a, b) = (self.rep(a), self.rep(b));
-        self.matrix[a.index()].contains(b.index())
+        self.bit(a.index(), b.index())
     }
 
     /// The current degree of `n` — the number of distinct, non-removed
@@ -186,13 +255,18 @@ impl InterferenceGraph {
         assert!(!self.interferes(a, b), "merging interfering nodes");
         assert!(!self.is_precolored(b), "merging a precolored node away");
         assert!(!self.removed[a.index()] && !self.removed[b.index()]);
-        let b_adj = std::mem::take(&mut self.adj[b.index()]);
+        // Audit note (mem::take scratch pattern): taking `b`'s list is
+        // intentional — a merged node's adjacency must stay empty so the
+        // canonical-adjacency invariant holds. No fallible path runs before
+        // the buffer is restored (cleared) below, and restoring it keeps
+        // its capacity alive for pooled reuse instead of dropping it.
+        let mut b_adj = std::mem::take(&mut self.adj[b.index()]);
         for &x in &b_adj {
             let pos = self.adj[x.index()]
                 .iter()
                 .position(|&y| y == b)
                 .expect("canonical adjacency is symmetric");
-            if self.matrix[a.index()].contains(x.index()) {
+            if self.bit(a.index(), x.index()) {
                 // `x` was adjacent to both: drop the `b` entry; `x` has one
                 // fewer distinct neighbor (if `x` is live — a removed
                 // node's degree stays frozen).
@@ -205,14 +279,16 @@ impl InterferenceGraph {
                 // slot. `x`'s distinct-neighbor count is unchanged; `a`
                 // gains a neighbor (counted only if `x` is live).
                 self.adj[x.index()][pos] = a;
-                self.matrix[a.index()].insert(x.index());
-                self.matrix[x.index()].insert(a.index());
+                self.set_bit(a.index(), x.index());
+                self.set_bit(x.index(), a.index());
                 self.adj[a.index()].push(x);
                 if !self.removed[x.index()] {
                     self.degree[a.index()] += 1;
                 }
             }
         }
+        b_adj.clear();
+        self.adj[b.index()] = b_adj;
         self.merged[b.index()] = true;
         self.alias[b.index()] = a;
     }
@@ -395,6 +471,45 @@ mod tests {
         assert_eq!(g.rep(n(1)), n(2));
         assert_eq!(g.rep(n(0)), n(2));
         assert_eq!(g.active_live_ranges(), vec![n(2), n(3)]);
+    }
+
+    #[test]
+    fn merge_keeps_merged_adjacency_capacity() {
+        let mut g = InterferenceGraph::new(6, 0);
+        g.add_edge(n(1), n(2));
+        g.add_edge(n(1), n(3));
+        g.add_edge(n(1), n(4));
+        g.merge(n(0), n(1));
+        // The merged node's list is empty (canonical invariant) but its
+        // allocation must survive for pooled reuse.
+        assert!(g.neighbors_slice(n(1)).is_empty() || g.rep(n(1)) == n(0));
+        assert!(g.adj[1].is_empty());
+        assert!(g.adj[1].capacity() >= 3, "merge dropped the taken buffer");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_graph() {
+        let mut scratch = IfgScratch::new();
+        let build = |scratch: &mut IfgScratch| {
+            let mut g = InterferenceGraph::new_in(5, 2, scratch);
+            g.add_edge(n(2), n(3));
+            g.add_edge(n(3), n(4));
+            g.remove(n(3));
+            g
+        };
+        let g1 = build(&mut scratch);
+        let deg1: Vec<usize> = (0..5).map(|i| g1.degree(n(i))).collect();
+        g1.recycle(&mut scratch);
+        assert_eq!(scratch.pooled_matrices(), 1);
+        // Second build reuses the pooled buffers and must behave fresh.
+        let g2 = build(&mut scratch);
+        assert_eq!(scratch.pooled_matrices(), 0);
+        let deg2: Vec<usize> = (0..5).map(|i| g2.degree(n(i))).collect();
+        assert_eq!(deg1, deg2);
+        assert!(g2.interferes(n(0), n(1)));
+        assert!(g2.interferes(n(2), n(3)));
+        assert!(!g2.interferes(n(2), n(4)));
+        assert!(g2.is_removed(n(3)));
     }
 
     #[test]

@@ -55,6 +55,7 @@ pub mod node;
 pub mod pipeline;
 pub mod rewrite;
 pub mod rpg;
+pub mod scratch;
 pub mod select;
 pub mod simplify;
 pub mod spill;
@@ -63,6 +64,8 @@ mod stats;
 mod allocator;
 
 pub use allocator::{
-    AllocError, AllocOutput, CheckMode, PreferenceAllocator, PreferenceSet, RegisterAllocator,
+    AllocError, AllocOutput, CheckMode, CheckScope, PreferenceAllocator, PreferenceSet,
+    RegisterAllocator,
 };
+pub use scratch::{ClassScratch, PhaseScratch};
 pub use stats::{AllocStats, ClassStats};

@@ -134,9 +134,27 @@ pub fn lower_abi(func: &Function, target: &TargetDesc) -> Result<Lowered, LowerE
         });
     }
 
+    // Resolve every call's argument registers up front. This is the only
+    // fallible step of the block rewrite, and running it before any
+    // instruction list is `mem::take`n below means no `?` can fire while a
+    // block's instructions sit outside the function — an early return
+    // there would silently drop the taken buffer and leave the block
+    // empty.
+    let mut call_regs: Vec<Vec<PhysReg>> = Vec::new();
+    for bi in 0..f.num_blocks() {
+        for inst in &f.blocks[bi].insts {
+            if let Inst::Call { args, .. } = inst {
+                let classes: Vec<RegClass> = args.iter().map(|&a| f.class_of(a)).collect();
+                call_regs.push(assign_args(&name, &classes)?);
+            }
+        }
+    }
+    let mut call_regs = call_regs.into_iter();
+
     // Calls and returns.
     for bi in 0..f.num_blocks() {
         let b = pdgc_ir::Block::new(bi);
+        // Infallible from here to the write-back: see the pre-pass above.
         let old = std::mem::take(&mut f.blocks[bi].insts);
         let mut new = Vec::with_capacity(old.len());
         if b == pdgc_ir::Block::ENTRY {
@@ -145,8 +163,7 @@ pub fn lower_abi(func: &Function, target: &TargetDesc) -> Result<Lowered, LowerE
         for inst in old {
             match inst {
                 Inst::Call { callee, args, ret } => {
-                    let classes: Vec<RegClass> = args.iter().map(|&a| f.class_of(a)).collect();
-                    let regs = assign_args(&name, &classes)?;
+                    let regs = call_regs.next().expect("counted in the pre-pass");
                     let mut pinned_args = Vec::with_capacity(args.len());
                     for (&a, &r) in args.iter().zip(&regs) {
                         let dst = get_pinned(&mut f, r, &mut pinned_vreg);
@@ -279,6 +296,32 @@ mod tests {
         let err = lower_abi(&f, &target).unwrap_err();
         assert!(matches!(err, LowerError::TooManyArgs { wanted: 9, .. }));
         assert!(err.to_string().contains("9 int arguments"));
+    }
+
+    #[test]
+    fn too_many_args_in_a_later_block_reports_the_same_error() {
+        // Regression: the fallible argument-register resolution used to
+        // run mid-rewrite, after earlier blocks' instruction lists had
+        // been taken out, so a failure abandoned the rewrite half-done
+        // with the current block emptied. The pre-pass must report the
+        // identical error no matter where the bad call sits.
+        let build = |call_in_second_block: bool| {
+            let mut b = FunctionBuilder::new("f", vec![], None);
+            let args: Vec<_> = (0..9).map(|i| b.iconst(i)).collect();
+            if call_in_second_block {
+                let next = b.create_block();
+                b.jump(next);
+                b.switch_to(next);
+            }
+            b.call("g", args, None);
+            b.ret(None);
+            b.finish()
+        };
+        let target = TargetDesc::ia64_like(PressureModel::High);
+        let e1 = lower_abi(&build(false), &target).unwrap_err();
+        let e2 = lower_abi(&build(true), &target).unwrap_err();
+        assert_eq!(e1, e2);
+        assert!(matches!(e1, LowerError::TooManyArgs { wanted: 9, .. }));
     }
 
     #[test]

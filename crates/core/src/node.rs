@@ -10,9 +10,25 @@
 //! Pinned virtual registers of the same physical register share a single
 //! precolored node, exactly as Chaitin's "physical register nodes".
 
+use pdgc_arena::{NestedPool, VecPool};
 use pdgc_ir::{Function, RegClass, VReg};
 use pdgc_target::{PhysReg, TargetDesc};
 use std::fmt;
+
+/// Resettable scratch pools for [`NodeMap::build_in`].
+#[derive(Debug, Default)]
+pub struct NodeScratch {
+    vreg_node: VecPool<Option<NodeId>>,
+    members: NestedPool<VReg>,
+    referenced: VecPool<bool>,
+}
+
+impl NodeScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
 
 /// A dense node index within one class's allocation universe.
 #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -67,12 +83,24 @@ impl NodeMap {
         class: RegClass,
         pinned: &[Option<PhysReg>],
     ) -> Self {
+        Self::build_in(func, target, class, pinned, &mut NodeScratch::default())
+    }
+
+    /// Like [`NodeMap::build`], drawing all storage from pooled scratch.
+    /// Return the map with [`NodeMap::recycle`] when done.
+    pub fn build_in(
+        func: &Function,
+        target: &TargetDesc,
+        class: RegClass,
+        pinned: &[Option<PhysReg>],
+        scratch: &mut NodeScratch,
+    ) -> Self {
         let num_phys = target.num_regs(class);
-        let mut vreg_node = vec![None; func.num_vregs()];
-        let mut members: Vec<Vec<VReg>> = vec![Vec::new(); num_phys];
+        let mut vreg_node = scratch.vreg_node.take_filled(func.num_vregs(), None);
+        let mut members: Vec<Vec<VReg>> = scratch.members.take(num_phys);
 
         // Mark referenced vregs (parameters count as referenced).
-        let mut referenced = vec![false; func.num_vregs()];
+        let mut referenced = scratch.referenced.take_filled(func.num_vregs(), false);
         for &p in &func.param_vregs {
             referenced[p.index()] = true;
         }
@@ -100,10 +128,13 @@ impl NodeMap {
                 None => {
                     let node = NodeId::new(members.len());
                     vreg_node[i] = Some(node);
-                    members.push(vec![v]);
+                    let mut m = scratch.members.take_inner();
+                    m.push(v);
+                    members.push(m);
                 }
             }
         }
+        scratch.referenced.put(referenced);
 
         NodeMap {
             class,
@@ -111,6 +142,12 @@ impl NodeMap {
             vreg_node,
             members,
         }
+    }
+
+    /// Returns this map's storage to `scratch` for reuse.
+    pub fn recycle(self, scratch: &mut NodeScratch) {
+        scratch.vreg_node.put(self.vreg_node);
+        scratch.members.put(self.members);
     }
 
     /// The register class of this universe.

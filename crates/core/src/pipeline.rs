@@ -14,16 +14,18 @@
 //! }
 //! ```
 
-use crate::build::{build_ifg, collect_copies, CopyRel};
+use crate::build::{build_ifg_in, collect_copies_in, CopyRel};
 use crate::cost::CostModel;
 use crate::ifg::InterferenceGraph;
 use crate::lower::{lower_abi, Lowered, LowerError};
 use crate::node::{NodeId, NodeMap};
 use crate::rewrite::rewrite;
+use crate::scratch::{ClassScratch, PhaseScratch};
+use crate::select::SelectResult;
 use crate::spill::insert_spill_code;
 use crate::stats::AllocStats;
-use pdgc_analysis::{CallCrossing, Cfg, DefUse, Dominators, Liveness, Loops};
-use pdgc_check::{check_allocation, CheckError, CheckMode};
+use pdgc_analysis::{CallCrossing, Cfg, DefUse, Dominators, Liveness, LivenessScratch, Loops};
+use pdgc_check::{check_allocation_in, CheckError, CheckMode, CheckScope, CheckScratch};
 use pdgc_ir::{Function, RegClass, VReg};
 use pdgc_obs::{with_span, Event, NoopTracer, Phase, Tracer};
 use pdgc_target::{MachFunction, PhysReg, TargetDesc};
@@ -49,18 +51,32 @@ pub struct Analyses {
 
 /// Runs all of a round's analyses.
 pub fn analyze(func: &Function) -> Analyses {
+    analyze_in(func, &mut LivenessScratch::default())
+}
+
+/// Like [`analyze`], drawing the liveness sets and crossing records from
+/// pooled scratch; return them with [`Analyses::recycle`] when done.
+pub fn analyze_in(func: &Function, scratch: &mut LivenessScratch) -> Analyses {
     let cfg = Cfg::compute(func);
-    let liveness = Liveness::compute(func, &cfg);
+    let liveness = Liveness::compute_in(func, &cfg, scratch);
     let dom = Dominators::compute(&cfg);
     let loops = Loops::compute(&cfg, &dom);
     let defuse = DefUse::compute(func);
-    let crossings = liveness.call_crossings(func);
+    let crossings = liveness.call_crossings_in(func, scratch);
     Analyses {
         cfg,
         liveness,
         loops,
         defuse,
         crossings,
+    }
+}
+
+impl Analyses {
+    /// Returns the pooled liveness and crossing storage to `scratch`.
+    pub fn recycle(self, scratch: &mut LivenessScratch) {
+        self.crossings.recycle(scratch);
+        self.liveness.recycle(scratch);
     }
 }
 
@@ -84,6 +100,11 @@ pub struct ClassCtx<'a> {
     pub no_spill: Vec<bool>,
     /// Number of colors.
     pub k: usize,
+    /// Pooled simplify/select scratch. Scratch-aware strategies
+    /// `std::mem::take` this at the top of `allocate_class` and move it
+    /// back before returning; the pipeline then hoists it into the
+    /// worker's [`PhaseScratch`] for the next class.
+    pub scratch: ClassScratch,
 }
 
 impl ClassCtx<'_> {
@@ -200,17 +221,46 @@ pub fn class_ctx_for_round<'a>(
     no_spill_vregs: &[bool],
     round: usize,
 ) -> ClassCtx<'a> {
-    let nodes = NodeMap::build(&lowered.func, target, class, &lowered.pinned);
-    let ifg = build_ifg(&lowered.func, &analyses.liveness, &nodes);
-    let copies = collect_copies(&lowered.func, &analyses.loops, &nodes);
+    class_ctx_for_round_in(
+        lowered,
+        target,
+        class,
+        analyses,
+        no_spill_vregs,
+        round,
+        &mut PhaseScratch::default(),
+    )
+}
+
+/// [`class_ctx_for_round`] drawing the node universe, interference graph,
+/// copy records, and cost vectors from pooled scratch. Return the consumed
+/// context with [`recycle_class_ctx`] when done.
+pub fn class_ctx_for_round_in<'a>(
+    lowered: &'a Lowered,
+    target: &TargetDesc,
+    class: RegClass,
+    analyses: &Analyses,
+    no_spill_vregs: &[bool],
+    round: usize,
+    scratch: &mut PhaseScratch,
+) -> ClassCtx<'a> {
+    let nodes = NodeMap::build_in(&lowered.func, target, class, &lowered.pinned, &mut scratch.node);
+    let ifg = build_ifg_in(
+        &lowered.func,
+        &analyses.liveness,
+        &nodes,
+        &mut scratch.ifg,
+        &mut scratch.build,
+    );
+    let copies = collect_copies_in(&lowered.func, &analyses.loops, &nodes, &mut scratch.build);
     let cost = CostModel::new(
         &lowered.func,
         &analyses.defuse,
         &analyses.loops,
         &analyses.crossings,
     );
-    let mut spill_costs = vec![u64::MAX; nodes.num_nodes()];
-    let mut no_spill = vec![true; nodes.num_nodes()];
+    let mut spill_costs = scratch.costs.take_filled(nodes.num_nodes(), u64::MAX);
+    let mut no_spill = scratch.flags.take_filled(nodes.num_nodes(), true);
     for n in nodes.live_range_nodes() {
         let mut c = 0u64;
         let mut blocked = false;
@@ -235,7 +285,27 @@ pub fn class_ctx_for_round<'a>(
         spill_costs,
         no_spill,
         k: target.num_regs(class),
+        scratch: std::mem::take(&mut scratch.class),
     }
+}
+
+/// Returns a consumed [`ClassCtx`]'s pooled storage to `scratch`.
+pub fn recycle_class_ctx(ctx: ClassCtx<'_>, scratch: &mut PhaseScratch) {
+    let ClassCtx {
+        nodes,
+        ifg,
+        copies,
+        spill_costs,
+        no_spill,
+        scratch: class_scratch,
+        ..
+    } = ctx;
+    nodes.recycle(&mut scratch.node);
+    ifg.recycle(&mut scratch.ifg);
+    scratch.build.recycle_copies(copies);
+    scratch.costs.put(spill_costs);
+    scratch.flags.put(no_spill);
+    scratch.class = class_scratch;
 }
 
 /// Runs the full pipeline with the given strategy.
@@ -269,8 +339,31 @@ pub fn run_pipeline_traced(
     strategy: &dyn ClassStrategy,
     tracer: &mut dyn Tracer,
 ) -> Result<AllocOutput, AllocError> {
+    run_pipeline_scratch(func, target, strategy, tracer, &mut PhaseScratch::default())
+}
+
+/// [`run_pipeline_traced`] drawing every phase's working storage from a
+/// per-worker [`PhaseScratch`].
+///
+/// With a fresh scratch this is exactly [`run_pipeline_traced`] — every
+/// pooled phase has a single code path, so the result is bit-identical
+/// whether the pools are warm, cold, or shared across thousands of
+/// functions. Batch drivers keep one scratch per worker thread; after
+/// warm-up the steady state performs (near) zero heap allocation per
+/// function.
+///
+/// # Errors
+///
+/// Same as [`run_pipeline`].
+pub fn run_pipeline_scratch(
+    func: &Function,
+    target: &TargetDesc,
+    strategy: &dyn ClassStrategy,
+    tracer: &mut dyn Tracer,
+    scratch: &mut PhaseScratch,
+) -> Result<AllocOutput, AllocError> {
     let mut lowered = with_span(tracer, Phase::Lower, 0, None, || lower_abi(func, target))?;
-    let mut no_spill_vregs = vec![false; lowered.func.num_vregs()];
+    let mut no_spill_vregs = scratch.flags.take_filled(lowered.func.num_vregs(), false);
     let mut slots = 0u32;
     let mut stats = AllocStats::default();
 
@@ -278,14 +371,25 @@ pub fn run_pipeline_traced(
         if tracer.enabled() {
             tracer.record(&Event::RoundStart { round: round as u32 });
         }
-        let analyses =
-            with_span(tracer, Phase::Analyze, round as u32, None, || analyze(&lowered.func));
+        let analyses = with_span(tracer, Phase::Analyze, round as u32, None, || {
+            analyze_in(&lowered.func, &mut scratch.liveness)
+        });
+        // The assignment is part of the result (it escapes into
+        // `AllocOutput`), so it is not pooled.
         let mut assignment: Vec<Option<PhysReg>> = vec![None; lowered.func.num_vregs()];
-        let mut spilled_vregs: Vec<VReg> = Vec::new();
+        let mut spilled_vregs: Vec<VReg> = scratch.vregs.take();
 
         for class in RegClass::ALL {
             let mut ctx = with_span(tracer, Phase::Build, round as u32, Some(class), || {
-                class_ctx_for_round(&lowered, target, class, &analyses, &no_spill_vregs, round)
+                class_ctx_for_round_in(
+                    &lowered,
+                    target,
+                    class,
+                    &analyses,
+                    &no_spill_vregs,
+                    round,
+                    scratch,
+                )
             });
             let outcome = strategy.allocate_class(&mut ctx, &analyses, target, tracer);
             for n in ctx.nodes.all_nodes() {
@@ -300,22 +404,31 @@ pub fn run_pipeline_traced(
                     spilled_vregs.push(v);
                 }
             }
+            recycle_class_ctx(ctx, scratch);
+            SelectResult {
+                assignment: outcome.assignment,
+                spilled: outcome.spilled,
+            }
+            .recycle(&mut scratch.class.select);
         }
+        analyses.recycle(&mut scratch.liveness);
 
         // A vreg must be spilled at most once per round: classes partition
         // the universe and strategies spill whole nodes, so a duplicate here
         // means node bookkeeping broke (it would burn a second frame slot
         // and leave a stale `slot_of` entry downstream). Dedup in release,
         // loudly in debug, preserving insertion order for the trace event.
-        let mut seen = vec![false; lowered.func.num_vregs()];
+        let mut seen = scratch.flags.take_filled(lowered.func.num_vregs(), false);
         spilled_vregs.retain(|v| {
             let dup = seen[v.index()];
             debug_assert!(!dup, "vreg {v} spilled twice in one round");
             seen[v.index()] = true;
             !dup
         });
+        scratch.flags.put(seen);
 
         if spilled_vregs.is_empty() {
+            scratch.vregs.put(spilled_vregs);
             stats.rounds = round;
             let mach = with_span(tracer, Phase::Rewrite, round as u32, None, || {
                 rewrite(&lowered.func, &assignment, target, slots, &mut stats)
@@ -327,6 +440,7 @@ pub fn run_pipeline_traced(
                     moves_eliminated: stats.moves_eliminated as u64,
                 });
             }
+            scratch.flags.put(no_spill_vregs);
             return Ok(AllocOutput {
                 mach,
                 stats,
@@ -345,12 +459,14 @@ pub fn run_pipeline_traced(
                 slots,
             });
         }
+        scratch.vregs.put(spilled_vregs);
         lowered.sync_pinned_len();
         no_spill_vregs.resize(lowered.func.num_vregs(), false);
         for v in outcome.new_temps {
             no_spill_vregs[v.index()] = true;
         }
     }
+    scratch.flags.put(no_spill_vregs);
     Err(AllocError::TooManyRounds {
         func: func.name.clone(),
     })
@@ -391,12 +507,38 @@ pub fn check_output(
     tracer: &mut dyn Tracer,
     mode: CheckMode,
 ) -> Result<(), AllocError> {
+    check_output_in(
+        out,
+        target,
+        tracer,
+        mode,
+        CheckScope::Full,
+        &mut CheckScratch::default(),
+    )
+}
+
+/// [`check_output`] with an explicit [`CheckScope`] and pooled checker
+/// scratch. Batch drivers pass [`CheckScope::Rewritten`] so
+/// re-verification pays per rewrite instead of per function; the `Full`
+/// scope with a fresh scratch is exactly [`check_output`].
+///
+/// # Errors
+///
+/// [`AllocError::CheckFailed`] when the checker finds a violation.
+pub fn check_output_in(
+    out: &AllocOutput,
+    target: &TargetDesc,
+    tracer: &mut dyn Tracer,
+    mode: CheckMode,
+    scope: CheckScope,
+    scratch: &mut CheckScratch,
+) -> Result<(), AllocError> {
     if !mode.should_check() {
         return Ok(());
     }
     let round = out.stats.rounds as u32;
     let result = with_span(tracer, Phase::Check, round, None, || {
-        check_allocation(&out.lowered, &out.assignment, &out.mach, target)
+        check_allocation_in(&out.lowered, &out.assignment, &out.mach, target, scope, scratch)
     });
     match result {
         Ok(_) => Ok(()),

@@ -21,8 +21,43 @@ use crate::cpg::Cpg;
 use crate::ifg::InterferenceGraph;
 use crate::node::{NodeId, NodeMap};
 use crate::rpg::{PrefKind, PrefTarget, Preference, Rpg};
+use pdgc_arena::{NestedPool, VecPool};
 use pdgc_obs::{Considered, Decision, Event, NoopTracer, SpillReason, Tracer, Verdict};
 use pdgc_target::{PhysReg, TargetDesc};
+
+/// Resettable scratch for [`select_traced_in`]: the reverse-preference
+/// index, the differential caches, and the per-select working vectors.
+#[derive(Debug, Default)]
+pub struct SelectScratch {
+    rev_pref: NestedPool<NodeId>,
+    assignments: VecPool<Option<PhysReg>>,
+    bools: VecPool<bool>,
+    diffs: VecPool<i64>,
+    counts: VecPool<usize>,
+    nodes: VecPool<NodeId>,
+    /// Pool for candidate-register sets: the available set, per-preference
+    /// honoring sets, narrowed candidate sets, and partner-blocked sets.
+    phys: VecPool<PhysReg>,
+    /// Reused per-node screening list (honorable + deferred preferences).
+    screens: Vec<ScreenEntry>,
+    /// Register-occupancy buffer threaded into the selector's
+    /// differential scan (the `select.rs` take/restore audit target).
+    used: Vec<bool>,
+}
+
+impl SelectScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Capacity of the pooled differential-occupancy buffer (diagnostic;
+    /// the take/restore regression test asserts it survives the
+    /// no-register-available early return).
+    pub fn used_capacity(&self) -> usize {
+        self.used.capacity()
+    }
+}
 
 /// Tunables for the select phase.
 #[derive(Clone, Copy, Debug)]
@@ -55,6 +90,14 @@ pub struct SelectResult {
     pub assignment: Vec<Option<PhysReg>>,
     /// Live-range nodes that must be spilled.
     pub spilled: Vec<NodeId>,
+}
+
+impl SelectResult {
+    /// Returns this result's vectors to `scratch` for reuse.
+    pub fn recycle(self, scratch: &mut SelectScratch) {
+        scratch.assignments.put(self.assignment);
+        scratch.nodes.put(self.spilled);
+    }
 }
 
 /// Runs preference-directed selection over one class.
@@ -102,10 +145,47 @@ pub fn select_traced(
     round: u32,
     tracer: &mut dyn Tracer,
 ) -> SelectResult {
+    select_traced_in(
+        ifg,
+        nodes,
+        rpg,
+        cpg,
+        target,
+        no_spill,
+        spill_costs,
+        config,
+        round,
+        tracer,
+        &mut SelectScratch::default(),
+    )
+}
+
+/// [`select_traced`] drawing every per-select vector — the reverse
+/// preference index, assignment, differential caches, and occupancy
+/// buffers — from pooled scratch. Recycle the result with
+/// [`SelectResult::recycle`].
+///
+/// # Panics
+///
+/// Same as [`select`].
+#[allow(clippy::too_many_arguments)]
+pub fn select_traced_in(
+    ifg: &InterferenceGraph,
+    nodes: &NodeMap,
+    rpg: &Rpg,
+    cpg: &Cpg,
+    target: &TargetDesc,
+    no_spill: &[bool],
+    spill_costs: &[u64],
+    config: SelectConfig,
+    round: u32,
+    tracer: &mut dyn Tracer,
+    scratch: &mut SelectScratch,
+) -> SelectResult {
     // Reverse preference index: rev_pref[m] holds the nodes with a
     // preference targeting (the representative of) m. Assigning m makes
     // exactly those nodes' differentials stale.
-    let mut rev_pref: Vec<Vec<NodeId>> = vec![Vec::new(); nodes.num_nodes()];
+    let mut rev_pref = scratch.rev_pref.take(nodes.num_nodes());
     for i in 0..nodes.num_nodes() {
         let holder = NodeId::new(i);
         for pref in rpg.prefs(holder) {
@@ -114,6 +194,11 @@ pub fn select_traced(
             }
         }
     }
+    let mut assignment = scratch.assignments.take();
+    assignment.extend((0..nodes.num_nodes()).map(|i| {
+        let n = NodeId::new(i);
+        nodes.is_precolored(n).then(|| nodes.phys_reg(n))
+    }));
     Selector {
         ifg,
         nodes,
@@ -124,20 +209,17 @@ pub fn select_traced(
         spill_costs,
         config,
         round,
-        assignment: (0..nodes.num_nodes())
-            .map(|i| {
-                let n = NodeId::new(i);
-                nodes.is_precolored(n).then(|| nodes.phys_reg(n))
-            })
-            .collect(),
-        spilled: vec![false; nodes.num_nodes()],
-        processed: vec![false; nodes.num_nodes()],
+        assignment,
+        spilled: scratch.bools.take_filled(nodes.num_nodes(), false),
+        processed: scratch.bools.take_filled(nodes.num_nodes(), false),
         rev_pref,
-        diff_cache: vec![0; nodes.num_nodes()],
-        diff_dirty: vec![true; nodes.num_nodes()],
-        used_scratch: Vec::new(),
+        diff_cache: scratch.diffs.take_filled(nodes.num_nodes(), 0),
+        diff_dirty: scratch.bools.take_filled(nodes.num_nodes(), true),
+        used_scratch: std::mem::take(&mut scratch.used),
+        phys: std::mem::take(&mut scratch.phys),
+        screen_buf: std::mem::take(&mut scratch.screens),
     }
-    .run(tracer)
+    .run(tracer, scratch)
 }
 
 struct Selector<'a> {
@@ -163,21 +245,30 @@ struct Selector<'a> {
     /// Reusable register-occupancy scratch for the differential scan,
     /// owned by the selector so the frontier loop never allocates.
     used_scratch: Vec<bool>,
+    /// Pool for the per-node candidate-register vectors.
+    phys: VecPool<PhysReg>,
+    /// Reused screening list, cleared between nodes.
+    screen_buf: Vec<ScreenEntry>,
 }
 
-/// One honorable preference: the registers that honor it and the strength
-/// of doing so (per register kind, resolved per register).
-struct Honorable {
+/// One screened preference of the node being allocated: an *honorable*
+/// preference carries the registers of the available set that honor it; a
+/// *deferred* one (unallocated partner) carries no set — it narrows to the
+/// registers that keep the partner able to honor it later.
+#[derive(Debug)]
+struct ScreenEntry {
+    strength: i64,
     pref: Preference,
+    deferred: bool,
     regs: Vec<PhysReg>,
 }
 
 impl Selector<'_> {
-    fn run(mut self, tracer: &mut dyn Tracer) -> SelectResult {
-        let mut pred_remaining: Vec<usize> = (0..self.nodes.num_nodes())
-            .map(|i| self.cpg.preds(NodeId::new(i)).len())
-            .collect();
-        let mut queue: Vec<NodeId> = self.cpg.initial_queue();
+    fn run(mut self, tracer: &mut dyn Tracer, scratch: &mut SelectScratch) -> SelectResult {
+        let mut pred_remaining = scratch.counts.take();
+        pred_remaining.extend((0..self.nodes.num_nodes()).map(|i| self.cpg.preds(NodeId::new(i)).len()));
+        let mut queue = scratch.nodes.take();
+        queue.extend(self.cpg.initial_queue());
         let total: usize = self.cpg.nodes().count();
         let mut done = 0;
 
@@ -219,83 +310,138 @@ impl Selector<'_> {
         }
         assert_eq!(done, total, "CPG must drain completely (acyclic)");
 
-        let spilled = (0..self.nodes.num_nodes())
-            .map(NodeId::new)
-            .filter(|n| self.spilled[n.index()])
-            .collect();
+        let mut spilled = scratch.nodes.take();
+        spilled.extend(
+            (0..self.nodes.num_nodes())
+                .map(NodeId::new)
+                .filter(|n| self.spilled[n.index()]),
+        );
+        // Park every internal buffer back in the scratch before returning:
+        // the next select call reuses all of them.
+        scratch.counts.put(pred_remaining);
+        scratch.nodes.put(queue);
+        scratch.rev_pref.put(self.rev_pref);
+        scratch.bools.put(self.spilled);
+        scratch.bools.put(self.processed);
+        scratch.bools.put(self.diff_dirty);
+        scratch.diffs.put(self.diff_cache);
+        scratch.used = std::mem::take(&mut self.used_scratch);
+        scratch.phys = std::mem::take(&mut self.phys);
+        scratch.screens = std::mem::take(&mut self.screen_buf);
         SelectResult {
             assignment: self.assignment,
             spilled,
         }
     }
 
-    /// Registers not used by already-allocated interference neighbors.
-    fn available(&self, n: NodeId) -> Vec<PhysReg> {
-        let mut used = vec![false; self.target.num_regs(self.nodes.class())];
+    /// Registers not used by already-allocated interference neighbors,
+    /// written into `out` (occupancy via the reused differential buffer).
+    fn collect_available(&mut self, n: NodeId, out: &mut Vec<PhysReg>) {
+        let mut used = std::mem::take(&mut self.used_scratch);
+        used.clear();
+        used.resize(self.target.num_regs(self.nodes.class()), false);
         for &x in self.ifg.neighbors_slice(n) {
             if let Some(r) = self.assignment[x.index()] {
                 used[r.index()] = true;
             }
         }
-        self.target
-            .regs(self.nodes.class())
-            .filter(|r| !used[r.index()])
-            .collect()
+        out.extend(
+            self.target
+                .regs(self.nodes.class())
+                .filter(|r| !used[r.index()]),
+        );
+        self.used_scratch = used;
     }
 
-    /// Steps 2.1–2.2: the preferences of `n` that prior selections still
-    /// allow, with their honoring register sets within `avail`.
-    fn honorable_prefs(&self, n: NodeId, avail: &[PhysReg]) -> Vec<Honorable> {
-        let mut out = Vec::new();
-        for &pref in self.rpg.prefs(n) {
-            let regs: Vec<PhysReg> = match pref.target {
-                PrefTarget::Volatile => avail
-                    .iter()
-                    .copied()
-                    .filter(|&r| self.target.is_volatile(r))
-                    .collect(),
-                PrefTarget::NonVolatile => avail
-                    .iter()
-                    .copied()
-                    .filter(|&r| !self.target.is_volatile(r))
-                    .collect(),
-                PrefTarget::Set(mask) => avail
-                    .iter()
-                    .copied()
-                    .filter(|&r| r.index() < 64 && (mask >> r.index()) & 1 == 1)
-                    .collect(),
+    /// Steps 2.1–2.2: screens the preferences of `n` into `out` — first
+    /// the honorable ones (a non-empty honoring set within `avail`), then
+    /// the deferred ones (partner not yet allocated), each in preference
+    /// order so the later stable sort ties out exactly like the unpooled
+    /// path did.
+    fn collect_screens(&mut self, n: NodeId, avail: &[PhysReg], out: &mut Vec<ScreenEntry>) {
+        let rpg = self.rpg;
+        for &pref in rpg.prefs(n) {
+            let mut regs = self.phys.take();
+            match pref.target {
+                PrefTarget::Volatile => {
+                    regs.extend(avail.iter().copied().filter(|&r| self.target.is_volatile(r)));
+                }
+                PrefTarget::NonVolatile => {
+                    regs.extend(avail.iter().copied().filter(|&r| !self.target.is_volatile(r)));
+                }
+                PrefTarget::Set(mask) => {
+                    regs.extend(
+                        avail
+                            .iter()
+                            .copied()
+                            .filter(|&r| r.index() < 64 && (mask >> r.index()) & 1 == 1),
+                    );
+                }
                 PrefTarget::Node(m) => {
                     // Resolve through coalesced representatives (pre-
-                    // coalescing merges nodes before selection).
+                    // coalescing merges nodes before selection). An
+                    // unallocated partner leaves the set empty: the
+                    // preference is deferred (2.2), handled below.
                     let m = self.ifg.rep(m);
-                    let Some(partner) = self.assignment[m.index()] else {
-                        continue; // unallocated or spilled: deferred (2.2)
-                    };
-                    match pref.kind {
-                        PrefKind::Coalesce => avail
-                            .iter()
-                            .copied()
-                            .filter(|&r| r == partner)
-                            .collect(),
-                        PrefKind::SequentialPlus => avail
-                            .iter()
-                            .copied()
-                            .filter(|&r| self.target.pair_allows(r, partner))
-                            .collect(),
-                        PrefKind::SequentialMinus => avail
-                            .iter()
-                            .copied()
-                            .filter(|&r| self.target.pair_allows(partner, r))
-                            .collect(),
-                        PrefKind::Prefers => Vec::new(),
+                    if let Some(partner) = self.assignment[m.index()] {
+                        match pref.kind {
+                            PrefKind::Coalesce => {
+                                regs.extend(avail.iter().copied().filter(|&r| r == partner));
+                            }
+                            PrefKind::SequentialPlus => {
+                                regs.extend(
+                                    avail
+                                        .iter()
+                                        .copied()
+                                        .filter(|&r| self.target.pair_allows(r, partner)),
+                                );
+                            }
+                            PrefKind::SequentialMinus => {
+                                regs.extend(
+                                    avail
+                                        .iter()
+                                        .copied()
+                                        .filter(|&r| self.target.pair_allows(partner, r)),
+                                );
+                            }
+                            PrefKind::Prefers => {}
+                        }
                     }
                 }
-            };
-            if !regs.is_empty() {
-                out.push(Honorable { pref, regs });
+            }
+            if regs.is_empty() {
+                self.phys.put(regs);
+            } else {
+                let strength = regs
+                    .iter()
+                    .map(|&r| pref.strength_with(r, self.target))
+                    .max()
+                    .unwrap_or(i64::MIN);
+                out.push(ScreenEntry {
+                    strength,
+                    pref,
+                    deferred: false,
+                    regs,
+                });
             }
         }
-        out
+        for &pref in rpg.prefs(n) {
+            if let PrefTarget::Node(m) = pref.target {
+                let m = self.ifg.rep(m);
+                let pending = self.assignment[m.index()].is_none()
+                    && !self.spilled[m.index()]
+                    && !self.nodes.is_precolored(m)
+                    && self.cpg.contains(m);
+                if pending && !matches!(pref.kind, PrefKind::Prefers) {
+                    out.push(ScreenEntry {
+                        strength: pref.best_strength(),
+                        pref,
+                        deferred: true,
+                        regs: Vec::new(),
+                    });
+                }
+            }
+        }
     }
 
     /// The cached step-3 differential of `n`, recomputed only when a prior
@@ -442,12 +588,16 @@ impl Selector<'_> {
         }));
     }
 
-    /// Steps 4.1–4.4 for the chosen node.
+    /// Steps 4.1–4.4 for the chosen node. Every candidate-register vector
+    /// is drawn from the selector's pool and returned to it, so a warm
+    /// untraced select never allocates here.
     fn allocate(&mut self, n: NodeId, frontier: u32, differential: i64, tracer: &mut dyn Tracer) {
         let trace = tracer.enabled();
-        let avail = self.available(n);
+        let mut avail = self.phys.take();
+        self.collect_available(n, &mut avail);
         let navail = avail.len() as u32;
         if avail.is_empty() {
+            self.phys.put(avail);
             self.spill(n);
             if trace {
                 let verdict = Verdict::Spilled {
@@ -458,32 +608,27 @@ impl Selector<'_> {
             }
             return;
         }
-        let honorable = self.honorable_prefs(n, &avail);
+        let mut screens = std::mem::take(&mut self.screen_buf);
+        debug_assert!(screens.is_empty());
+        self.collect_screens(n, &avail, &mut screens);
         // §5.4 active spilling: the strongest preference is for memory.
         if self.config.active_spill && !self.no_spill[n.index()] {
-            let strongest = honorable
+            let strongest = screens
                 .iter()
-                .flat_map(|h| {
-                    h.regs
-                        .iter()
-                        .map(|&r| h.pref.strength_with(r, self.target))
-                })
+                .filter(|e| !e.deferred)
+                .map(|e| e.strength)
                 .max();
             if let Some(s) = strongest {
                 if s < 0 {
                     self.spill(n);
                     if trace {
-                        let considered = honorable
+                        let considered = screens
                             .iter()
-                            .map(|h| Considered {
-                                kind: Self::kind_str(h.pref.kind),
-                                target: self.target_str(h.pref.target),
-                                strength: h
-                                    .regs
-                                    .iter()
-                                    .map(|&r| h.pref.strength_with(r, self.target))
-                                    .max()
-                                    .unwrap_or(i64::MIN),
+                            .filter(|e| !e.deferred)
+                            .map(|e| Considered {
+                                kind: Self::kind_str(e.pref.kind),
+                                target: self.target_str(e.pref.target),
+                                strength: e.strength,
                                 deferred: false,
                                 narrowed: false,
                                 survivors: navail,
@@ -503,6 +648,8 @@ impl Selector<'_> {
                             verdict,
                         );
                     }
+                    self.phys.put(avail);
+                    self.recycle_screens(screens);
                     return;
                 }
             }
@@ -516,82 +663,54 @@ impl Selector<'_> {
         // it later. Interleaving by strength matters: a strong deferred
         // pairing must be able to veto a weaker coalesce before the
         // coalesce pins the candidate set (Figure 5(a)).
-        enum Screen<'p> {
-            Honor(Honorable),
-            Defer(&'p Preference),
-        }
-        let mut screens: Vec<(i64, Screen<'_>)> = honorable
-            .into_iter()
-            .map(|h| {
-                let s = h
-                    .regs
-                    .iter()
-                    .map(|&r| h.pref.strength_with(r, self.target))
-                    .max()
-                    .unwrap_or(i64::MIN);
-                (s, Screen::Honor(h))
-            })
-            .collect();
-        for pref in self.deferred_prefs(n) {
-            screens.push((pref.best_strength(), Screen::Defer(pref)));
-        }
-        screens.sort_by_key(|(s, _)| std::cmp::Reverse(*s));
+        screens.sort_by_key(|e| std::cmp::Reverse(e.strength));
         let mut considered: Vec<Considered> = Vec::new();
         let mut cand = avail;
-        for (strength, screen) in &screens {
+        for mut e in screens.drain(..) {
             let mut entry = if trace {
-                let (kind, target, deferred) = match screen {
-                    Screen::Honor(h) => {
-                        (Self::kind_str(h.pref.kind), self.target_str(h.pref.target), false)
-                    }
-                    Screen::Defer(p) => (Self::kind_str(p.kind), self.target_str(p.target), true),
-                };
                 Some(Considered {
-                    kind,
-                    target,
-                    strength: *strength,
-                    deferred,
+                    kind: Self::kind_str(e.pref.kind),
+                    target: self.target_str(e.pref.target),
+                    strength: e.strength,
+                    deferred: e.deferred,
                     narrowed: false,
                     survivors: cand.len() as u32,
                 })
             } else {
                 None
             };
-            let narrowed: Vec<PhysReg> = match screen {
-                Screen::Honor(h) => {
-                    let regs: Vec<PhysReg> =
-                        cand.iter().copied().filter(|r| h.regs.contains(r)).collect();
-                    let gain = regs
-                        .iter()
-                        .map(|&r| h.pref.strength_with(r, self.target))
-                        .max()
-                        .unwrap_or(0);
-                    if gain > 0 {
-                        regs
-                    } else {
-                        considered.extend(entry);
-                        continue;
-                    }
+            let regs = std::mem::take(&mut e.regs);
+            let mut narrowed = self.phys.take();
+            if !e.deferred {
+                narrowed.extend(cand.iter().copied().filter(|r| regs.contains(r)));
+                let gain = narrowed
+                    .iter()
+                    .map(|&r| e.pref.strength_with(r, self.target))
+                    .max()
+                    .unwrap_or(0);
+                if gain <= 0 {
+                    narrowed.clear();
                 }
-                Screen::Defer(pref) => {
-                    if *strength <= 0 {
-                        considered.extend(entry);
-                        continue;
-                    }
-                    self.partner_feasible(pref, &cand)
-                }
-            };
+            } else if e.strength > 0 {
+                self.partner_feasible_into(&e.pref, &cand, &mut narrowed);
+            }
             // A filter that would empty the set is skipped: the
             // preference is abandoned rather than hurting this node.
-            if !narrowed.is_empty() {
-                cand = narrowed;
-                if let Some(e) = &mut entry {
-                    e.narrowed = true;
-                    e.survivors = cand.len() as u32;
+            if narrowed.is_empty() {
+                self.phys.put(narrowed);
+            } else {
+                if let Some(en) = &mut entry {
+                    en.narrowed = true;
+                    en.survivors = narrowed.len() as u32;
                 }
+                self.phys.put(std::mem::replace(&mut cand, narrowed));
+            }
+            if regs.capacity() > 0 {
+                self.phys.put(regs);
             }
             considered.extend(entry);
         }
+        self.screen_buf = screens;
 
         // Step 4.4: pick.
         let reg = if self.config.nonvolatile_first {
@@ -602,6 +721,7 @@ impl Selector<'_> {
         } else {
             cand[0]
         };
+        self.phys.put(cand);
         self.assignment[n.index()] = Some(reg);
         self.invalidate_after_assign(n);
         if trace {
@@ -617,62 +737,53 @@ impl Selector<'_> {
         }
     }
 
-    /// The preferences of `n` whose partner node is still unallocated
-    /// (deferred in step 2.2): they cannot be honored now, but they can
-    /// reserve registers that keep them honorable later.
-    fn deferred_prefs(&self, n: NodeId) -> Vec<&Preference> {
-        let mut deferred: Vec<&Preference> = Vec::new();
-        for pref in self.rpg.prefs(n) {
-            if let PrefTarget::Node(m) = pref.target {
-                let m = self.ifg.rep(m);
-                let pending = self.assignment[m.index()].is_none()
-                    && !self.spilled[m.index()]
-                    && !self.nodes.is_precolored(m)
-                    && self.cpg.contains(m);
-                if pending && !matches!(pref.kind, PrefKind::Prefers) {
-                    deferred.push(pref);
-                }
+    /// Returns a drained-or-not screening list's vectors to the pool and
+    /// parks the list itself for the next node.
+    fn recycle_screens(&mut self, mut screens: Vec<ScreenEntry>) {
+        for e in screens.drain(..) {
+            if e.regs.capacity() > 0 {
+                self.phys.put(e.regs);
             }
         }
-        deferred
+        self.screen_buf = screens;
     }
 
-    /// The registers of `cand` that do not prevent the deferred
-    /// preference `pref` from being honored later:
+    /// Appends to `out` the registers of `cand` that do not prevent the
+    /// deferred preference `pref` from being honored later:
     ///
     /// * a *coalesce* partner must later be able to take the same register
     ///   we pick, so registers already blocked by the partner's allocated
     ///   neighbors are removed;
     /// * a *sequential* partner must later find a register that pairs with
     ///   ours under the target rule.
-    fn partner_feasible(&self, pref: &Preference, cand: &[PhysReg]) -> Vec<PhysReg> {
+    fn partner_feasible_into(&mut self, pref: &Preference, cand: &[PhysReg], out: &mut Vec<PhysReg>) {
         let PrefTarget::Node(m) = pref.target else {
-            return cand.to_vec();
+            out.extend_from_slice(cand);
+            return;
         };
         let m = self.ifg.rep(m);
-        let partner_blocked: Vec<PhysReg> = self
-            .ifg
-            .neighbors_slice(m)
-            .iter()
-            .filter_map(|&x| self.assignment[x.index()])
-            .collect();
-        cand.iter()
-            .copied()
-            .filter(|&r| match pref.kind {
-                PrefKind::Coalesce => !partner_blocked.contains(&r),
-                PrefKind::SequentialPlus | PrefKind::SequentialMinus => {
-                    self.target.regs(self.nodes.class()).any(|s| {
-                        s != r
-                            && !partner_blocked.contains(&s)
-                            && match pref.kind {
-                                PrefKind::SequentialPlus => self.target.pair_allows(r, s),
-                                _ => self.target.pair_allows(s, r),
-                            }
-                    })
-                }
-                PrefKind::Prefers => true,
-            })
-            .collect()
+        let mut partner_blocked = self.phys.take();
+        partner_blocked.extend(
+            self.ifg
+                .neighbors_slice(m)
+                .iter()
+                .filter_map(|&x| self.assignment[x.index()]),
+        );
+        out.extend(cand.iter().copied().filter(|&r| match pref.kind {
+            PrefKind::Coalesce => !partner_blocked.contains(&r),
+            PrefKind::SequentialPlus | PrefKind::SequentialMinus => {
+                self.target.regs(self.nodes.class()).any(|s| {
+                    s != r
+                        && !partner_blocked.contains(&s)
+                        && match pref.kind {
+                            PrefKind::SequentialPlus => self.target.pair_allows(r, s),
+                            _ => self.target.pair_allows(s, r),
+                        }
+                })
+            }
+            PrefKind::Prefers => true,
+        }));
+        self.phys.put(partner_blocked);
     }
 
     fn spill(&mut self, n: NodeId) {
@@ -881,6 +992,61 @@ mod tests {
         // to the first volatile register.
         assert_eq!(r.assignment[3], Some(pdgc_target::PhysReg::int(2)));
         assert_eq!(r.assignment[4], Some(pdgc_target::PhysReg::int(0)));
+    }
+
+    #[test]
+    fn differential_early_return_keeps_occupancy_buffer() {
+        // K4 on three registers forces the no-register-available early
+        // return inside the differential scan. The take/restore pair in
+        // `differential` must put the occupancy buffer back before that
+        // return — if a refactor drops it, the scratch comes back with
+        // zero capacity and steady-state reuse silently degrades to
+        // per-call allocation.
+        let (mut g, nm) = setup(3, &[(3, 4), (3, 5), (3, 6), (4, 5), (4, 6), (5, 6)]);
+        let rpg = Rpg::new(nm.num_nodes());
+        let target = TargetDesc::figure7();
+        let costs = vec![10u64; nm.num_nodes()];
+        let sr = simplify(&mut g, 3, &costs, SimplifyMode::Optimistic);
+        g.restore_all();
+        let cpg = Cpg::build(&g, &sr.stack, &sr.optimistic, 3);
+        let no_spill = vec![false; nm.num_nodes()];
+        let mut scratch = SelectScratch::new();
+        let r1 = select_traced_in(
+            &g,
+            &nm,
+            &rpg,
+            &cpg,
+            &target,
+            &no_spill,
+            &[],
+            SelectConfig::default(),
+            1,
+            &mut NoopTracer,
+            &mut scratch,
+        );
+        assert!(!r1.spilled.is_empty(), "K4 on 3 regs must spill");
+        assert!(
+            scratch.used_capacity() > 0,
+            "differential dropped its occupancy buffer on the early return"
+        );
+        // Reuse: a second run from the same scratch is bit-identical.
+        let r2 = select_traced_in(
+            &g,
+            &nm,
+            &rpg,
+            &cpg,
+            &target,
+            &no_spill,
+            &[],
+            SelectConfig::default(),
+            1,
+            &mut NoopTracer,
+            &mut scratch,
+        );
+        assert_eq!(r1.assignment, r2.assignment);
+        assert_eq!(r1.spilled, r2.spilled);
+        r1.recycle(&mut scratch);
+        r2.recycle(&mut scratch);
     }
 
     #[test]

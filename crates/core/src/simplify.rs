@@ -21,8 +21,30 @@
 
 use crate::ifg::InterferenceGraph;
 use crate::node::NodeId;
+use pdgc_arena::{Taken, VecPool};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Resettable scratch for [`simplify_in`]: the worklist heap plus pooled
+/// result vectors.
+#[derive(Debug, Default)]
+pub struct SimplifyScratch {
+    heap: BinaryHeap<Reverse<usize>>,
+    nodes: VecPool<NodeId>,
+}
+
+impl SimplifyScratch {
+    /// Creates an empty scratch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Capacity of the pooled worklist heap (diagnostic; used by the
+    /// take/restore regression tests).
+    pub fn heap_capacity(&self) -> usize {
+        self.heap.capacity()
+    }
+}
 
 /// Which spill policy simplification follows.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -50,6 +72,13 @@ impl SimplifyResult {
     pub fn must_spill(&self) -> bool {
         !self.chaitin_spills.is_empty()
     }
+
+    /// Returns this result's vectors to `scratch` for reuse.
+    pub fn recycle(self, scratch: &mut SimplifyScratch) {
+        scratch.nodes.put(self.stack);
+        scratch.nodes.put(self.optimistic);
+        scratch.nodes.put(self.chaitin_spills);
+    }
 }
 
 /// Runs simplification on (a mutable view of) the interference graph.
@@ -71,18 +100,37 @@ pub fn simplify(
     spill_costs: &[u64],
     mode: SimplifyMode,
 ) -> SimplifyResult {
+    simplify_in(ifg, k, spill_costs, mode, &mut SimplifyScratch::default())
+}
+
+/// Like [`simplify`], drawing the worklist heap and result vectors from
+/// pooled scratch. Recycle the result with [`SimplifyResult::recycle`].
+///
+/// The heap is held through a [`Taken`] drop-guard: even the
+/// unspillable-blocked panic path restores its buffer to the scratch, so
+/// reuse never degrades to per-call allocation.
+pub fn simplify_in(
+    ifg: &mut InterferenceGraph,
+    k: usize,
+    spill_costs: &[u64],
+    mode: SimplifyMode,
+    scratch: &mut SimplifyScratch,
+) -> SimplifyResult {
     let mut result = SimplifyResult {
-        stack: Vec::new(),
-        optimistic: Vec::new(),
-        chaitin_spills: Vec::new(),
+        stack: scratch.nodes.take(),
+        optimistic: scratch.nodes.take(),
+        chaitin_spills: scratch.nodes.take(),
     };
     // Min-heap of low-degree candidates, by node id: popping the minimum
     // reproduces the lowest-id-first removal order of a full rescan.
-    let mut worklist: BinaryHeap<Reverse<usize>> = (ifg.num_phys()..ifg.num_nodes())
-        .map(NodeId::new)
-        .filter(|&n| !ifg.is_merged(n) && !ifg.is_removed(n) && ifg.degree(n) < k)
-        .map(|n| Reverse(n.index()))
-        .collect();
+    let mut worklist = Taken::new(&mut scratch.heap);
+    worklist.clear();
+    worklist.extend(
+        (ifg.num_phys()..ifg.num_nodes())
+            .map(NodeId::new)
+            .filter(|&n| !ifg.is_merged(n) && !ifg.is_removed(n) && ifg.degree(n) < k)
+            .map(|n| Reverse(n.index())),
+    );
     let mut remaining = (ifg.num_phys()..ifg.num_nodes())
         .map(NodeId::new)
         .filter(|&n| !ifg.is_merged(n) && !ifg.is_removed(n))
@@ -108,7 +156,7 @@ pub fn simplify(
                 continue;
             }
             debug_assert!(ifg.degree(n) < k, "worklist entry regained degree");
-            pop_neighbors(ifg, n, &mut worklist);
+            pop_neighbors(ifg, n, &mut *worklist);
             result.stack.push(n);
             remaining -= 1;
             continue;
@@ -129,7 +177,7 @@ pub fn simplify(
             .unwrap_or_else(|| {
                 panic!("simplify: graph blocked with only unspillable nodes (K={k})")
             });
-        pop_neighbors(ifg, cand, &mut worklist);
+        pop_neighbors(ifg, cand, &mut *worklist);
         remaining -= 1;
         match mode {
             SimplifyMode::Chaitin => result.chaitin_spills.push(cand),

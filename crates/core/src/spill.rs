@@ -62,6 +62,10 @@ pub fn insert_spill_code(
     }
 
     for bi in 0..func.num_blocks() {
+        // Taken-buffer audit: nothing between this take and the write-back
+        // below can return early or panic on user input (slot lookups are
+        // guarded by `slot_of` entries created above), so the block cannot
+        // be left empty.
         let old = std::mem::take(&mut func.blocks[bi].insts);
         let mut new = Vec::with_capacity(old.len());
         for mut inst in old {

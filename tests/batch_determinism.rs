@@ -38,6 +38,32 @@ fn jobs4_is_bit_identical_to_jobs1_on_full_allocator() {
 }
 
 #[test]
+fn jobs8_oversubscribed_stress_is_bit_identical_and_repeatable() {
+    // More workers than the suite has cores (and, on small machines, more
+    // than there are functions per claim window): workers race the atomic
+    // cursor hard and finish out of order, stressing the slot-keyed merge.
+    // `compare_jobs` also asserts that repeats of the same job count agree,
+    // so each worker's reused PhaseScratch is proven not to leak state from
+    // one function into the next.
+    let mut workloads = suite();
+    for w in &mut workloads {
+        w.funcs.truncate(6);
+    }
+    let target = TargetDesc::ia64_like(PressureModel::Middle);
+    let alloc = PreferenceAllocator::full();
+    let cmp = pdgc_bench::batch::compare_jobs(&alloc, &workloads, &target, 8, 2);
+    assert_eq!(cmp.parallel.jobs, 8);
+    assert!(
+        cmp.identical(),
+        "jobs=8 diverged from serial on the stress sweep"
+    );
+    assert_eq!(cmp.serial.stats, cmp.parallel.stats);
+    for (i, f) in cmp.parallel.funcs.iter().enumerate() {
+        assert_eq!(f.index, i, "slot-keyed merge broke task order");
+    }
+}
+
+#[test]
 fn jobs4_is_bit_identical_to_jobs1_across_pressure_models() {
     // Lighter sweep (first functions of each workload) over the other two
     // pressure models, so every differential-suite target shape is covered.
