@@ -39,7 +39,7 @@
 
 use crate::fingerprint_mach;
 use pdgc_core::{AllocStats, CheckMode, CheckScope, PhaseScratch, RegisterAllocator};
-use pdgc_obs::{Event, PhaseTimes, Tracer};
+use pdgc_obs::{Event, MetricsRegistry, PhaseTimes, Tracer};
 use pdgc_target::TargetDesc;
 use pdgc_workloads::Workload;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -62,6 +62,9 @@ pub struct BatchFuncResult {
     pub fingerprint: u64,
     /// Allocator wall-clock per pipeline phase for this function.
     pub phases: PhaseTimes,
+    /// Always-on metrics drained from the worker's scratch after this
+    /// function (counters, scorecard, and latency histograms).
+    pub metrics: MetricsRegistry,
 }
 
 /// The outcome of one batch run.
@@ -82,6 +85,10 @@ pub struct BatchResult {
     /// Phase times summed over all functions (CPU time, so with `jobs > 1`
     /// this exceeds `elapsed`).
     pub phases: PhaseTimes,
+    /// Metrics merged over all functions **in task order** at the
+    /// slot-keyed join, so the deterministic sections (counters and
+    /// scorecard histograms) are bit-identical at every job count.
+    pub metrics: MetricsRegistry,
 }
 
 impl BatchResult {
@@ -236,6 +243,10 @@ where
                     stats: out.stats,
                     fingerprint: fingerprint_mach(&out.mach),
                     phases,
+                    // Drain the always-on registry so each function's
+                    // metrics travel with its slot; the worker's scratch
+                    // starts the next function empty.
+                    metrics: std::mem::take(&mut scratch.metrics),
                 },
                 sink,
             )
@@ -280,6 +291,7 @@ where
     let slots = collected.into_inner().expect("unpoisoned");
     let mut stats = AllocStats::default();
     let mut phases = PhaseTimes::default();
+    let mut metrics = MetricsRegistry::default();
     let mut funcs = Vec::with_capacity(slots.len());
     let mut sinks = Vec::with_capacity(slots.len());
     for (i, pair) in slots.into_iter().enumerate() {
@@ -287,6 +299,7 @@ where
         debug_assert_eq!(r.index, i);
         stats.accumulate(&r.stats);
         phases.merge(&r.phases);
+        metrics.merge(&r.metrics);
         funcs.push(r);
         sinks.push(s);
     }
@@ -299,6 +312,7 @@ where
             funcs,
             stats,
             phases,
+            metrics,
         },
         sinks,
     )
@@ -314,6 +328,12 @@ pub struct BatchComparison {
     pub parallel: BatchResult,
     /// Wall-clock repeats each run is the best of.
     pub repeat: usize,
+    /// Wall-clock of every serial repeat, in run order (the kept run is
+    /// the minimum). Lets `pdgc report` compute run-to-run variance
+    /// instead of seeing only the best-of point.
+    pub serial_repeats: Vec<Duration>,
+    /// Wall-clock of every parallel repeat, in run order.
+    pub parallel_repeats: Vec<Duration>,
 }
 
 impl BatchComparison {
@@ -327,11 +347,19 @@ impl BatchComparison {
         self.parallel.funcs_per_sec() / self.serial.funcs_per_sec().max(1e-9)
     }
 
-    fn run_json(&self, r: &BatchResult) -> String {
+    fn run_json(&self, r: &BatchResult, repeats: &[Duration]) -> String {
         pdgc_obs::json::JsonObject::new()
             .u64("jobs", r.jobs as u64)
             .u64("functions", r.funcs.len() as u64)
             .f64("elapsed_ms", r.elapsed.as_secs_f64() * 1e3)
+            .raw(
+                "repeats_ms",
+                &pdgc_obs::json::array(
+                    repeats
+                        .iter()
+                        .map(|d| format!("{:.3}", d.as_secs_f64() * 1e3)),
+                ),
+            )
             .f64("functions_per_sec", r.funcs_per_sec())
             .f64(
                 "speedup_vs_1_thread",
@@ -351,8 +379,11 @@ impl BatchComparison {
             .u64("repeat", self.repeat as u64)
             .bool("identical", self.identical())
             .f64("speedup", self.speedup())
-            .raw("serial", &self.run_json(&self.serial))
-            .raw("parallel", &self.run_json(&self.parallel))
+            .raw("serial", &self.run_json(&self.serial, &self.serial_repeats))
+            .raw(
+                "parallel",
+                &self.run_json(&self.parallel, &self.parallel_repeats),
+            )
             .finish()
     }
 
@@ -403,12 +434,14 @@ pub fn compare_jobs_checked(
     check: CheckMode,
 ) -> BatchComparison {
     let repeat = repeat.max(1);
-    let serial = best_of(alloc, workloads, target, 1, repeat, check);
-    let parallel = best_of(alloc, workloads, target, jobs, repeat, check);
+    let (serial, serial_repeats) = best_of(alloc, workloads, target, 1, repeat, check);
+    let (parallel, parallel_repeats) = best_of(alloc, workloads, target, jobs, repeat, check);
     BatchComparison {
         serial,
         parallel,
         repeat,
+        serial_repeats,
+        parallel_repeats,
     }
 }
 
@@ -428,19 +461,27 @@ pub fn compare_jobs_sweep(
     check: CheckMode,
 ) -> Vec<BatchComparison> {
     let repeat = repeat.max(1);
-    let serial = best_of(alloc, workloads, target, 1, repeat, check);
+    let (serial, serial_repeats) = best_of(alloc, workloads, target, 1, repeat, check);
     jobs_list
         .iter()
-        .map(|&jobs| BatchComparison {
-            serial: serial.clone(),
-            parallel: best_of(alloc, workloads, target, jobs, repeat, check),
-            repeat,
+        .map(|&jobs| {
+            let (parallel, parallel_repeats) =
+                best_of(alloc, workloads, target, jobs, repeat, check);
+            BatchComparison {
+                serial: serial.clone(),
+                parallel,
+                repeat,
+                serial_repeats: serial_repeats.clone(),
+                parallel_repeats,
+            }
         })
         .collect()
 }
 
 /// Runs the batch `repeat` times at one job count, asserting all repeats
-/// produce identical allocations, and keeps the best wall clock.
+/// produce identical allocations, and keeps the best wall clock. Every
+/// repeat's wall-clock is returned alongside (in run order) so callers
+/// can report run-to-run variance, not just the kept minimum.
 fn best_of(
     alloc: &(dyn RegisterAllocator + Sync),
     workloads: &[Workload],
@@ -448,10 +489,12 @@ fn best_of(
     jobs: usize,
     repeat: usize,
     check: CheckMode,
-) -> BatchResult {
+) -> (BatchResult, Vec<Duration>) {
     let mut best: Option<BatchResult> = None;
+    let mut repeats = Vec::with_capacity(repeat);
     for _ in 0..repeat {
         let r = run_batch_checked(alloc, workloads, target, jobs, check);
+        repeats.push(r.elapsed);
         match &mut best {
             Some(prev) => {
                 assert!(
@@ -465,7 +508,7 @@ fn best_of(
             None => best = Some(r),
         }
     }
-    best.expect("repeat >= 1")
+    (best.expect("repeat >= 1"), repeats)
 }
 
 #[cfg(test)]
@@ -492,6 +535,10 @@ mod tests {
         assert_eq!(serial.funcs.len(), 4);
         assert!(serial.same_allocations(&parallel));
         assert_eq!(serial.stats, parallel.stats);
+        // Counters and scorecard histograms merge commutatively at the
+        // slot-keyed join, so they match bit-for-bit across job counts.
+        assert!(serial.metrics.deterministic_eq(&parallel.metrics));
+        assert!(!serial.metrics.is_empty());
         assert_eq!(parallel.jobs, 3);
         assert!(serial.funcs_per_sec() > 0.0);
     }

@@ -23,7 +23,7 @@
 //! ```
 
 use pdgc_bench::batch::compare_jobs_checked;
-use pdgc_bench::print_table;
+use pdgc_bench::{print_table, write_metrics};
 use pdgc_core::{CheckMode, PreferenceAllocator};
 use pdgc_target::TargetRegistry;
 use pdgc_workloads::{generate, specjvm_suite, Workload};
@@ -110,8 +110,29 @@ fn main() {
     let path = cmp.write_json().expect("write bench_batch.json");
     println!("wrote {}", path.display());
 
+    // The always-on metrics merge commutatively at the slot-keyed join,
+    // so the deterministic sections (counters + scorecard histograms)
+    // must be bit-identical across job counts — gate on it like the
+    // allocation fingerprints above.
+    let metrics_deterministic = cmp.serial.metrics.deterministic_eq(&cmp.parallel.metrics);
+    println!(
+        "metrics identical across job counts: {}",
+        if metrics_deterministic {
+            "yes"
+        } else {
+            "NO — DIVERGENCE"
+        }
+    );
+    let mpath = write_metrics("bench_batch", cmp.serial.allocator, &target.name, &cmp.serial.metrics)
+        .expect("write metrics.json");
+    println!("wrote {}", mpath.display());
+
     if !cmp.identical() {
         eprintln!("error: parallel allocation diverged from serial");
+        std::process::exit(1);
+    }
+    if !metrics_deterministic {
+        eprintln!("error: parallel metrics diverged from serial");
         std::process::exit(1);
     }
     if let Some(min) = min_speedup {

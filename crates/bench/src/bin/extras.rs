@@ -11,20 +11,28 @@
 //! 3. **Limited-usage preference** (x86-like target) — zero-extensions
 //!    avoided by the full allocator on a byte-load-dense workload.
 
-use pdgc_bench::{geo_mean, print_table, run_workload_timed, write_results, WorkloadResult};
+use pdgc_bench::{
+    geo_mean, print_table, run_workload_metered, write_metrics, write_results, WorkloadResult,
+};
 use pdgc_core::baselines::{ChaitinAllocator, OptimisticAllocator, PriorityAllocator};
 use pdgc_core::{PreferenceAllocator, PreferenceSet, RegisterAllocator};
+use pdgc_obs::MetricsRegistry;
 use pdgc_target::{PressureModel, TargetDesc};
 use pdgc_workloads::{default_args, generate, specjvm_suite, WorkloadProfile};
 
 fn main() {
-    let mut all_results = ablation();
+    let mut metrics = MetricsRegistry::default();
+    let mut all_results = ablation(&mut metrics);
     footprint();
     limited_usage();
-    all_results.extend(precoalesce());
+    all_results.extend(precoalesce(&mut metrics));
     match write_results("extras", &all_results) {
         Ok(path) => println!("results written to {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
+    }
+    match write_metrics("extras", "all", "ia64-24+32", &metrics) {
+        Ok(path) => println!("metrics written to {}", path.display()),
+        Err(e) => eprintln!("could not write metrics: {e}"),
     }
 }
 
@@ -32,7 +40,7 @@ fn main() {
 /// non-spill-causing pairs before simplification — measured where the
 /// one-by-one approach trails optimistic coalescing most: move
 /// elimination with plentiful registers.
-fn precoalesce() -> Vec<WorkloadResult> {
+fn precoalesce(metrics: &mut MetricsRegistry) -> Vec<WorkloadResult> {
     let target = TargetDesc::ia64_like(PressureModel::Low);
     println!("Pre-coalescing refinement: eliminated moves & spills, 32 registers");
     let algs: Vec<Box<dyn RegisterAllocator>> = vec![
@@ -46,7 +54,7 @@ fn precoalesce() -> Vec<WorkloadResult> {
         let w = generate(&prof);
         let mut row = vec![prof.name.clone()];
         for a in &algs {
-            let r = run_workload_timed(a.as_ref(), &w, &target);
+            let r = run_workload_metered(a.as_ref(), &w, &target, metrics);
             row.push(format!(
                 "{}/{}",
                 r.stats.moves_eliminated, r.stats.spill_instructions
@@ -63,7 +71,7 @@ fn precoalesce() -> Vec<WorkloadResult> {
     all
 }
 
-fn ablation() -> Vec<WorkloadResult> {
+fn ablation(metrics: &mut MetricsRegistry) -> Vec<WorkloadResult> {
     let target = TargetDesc::ia64_like(PressureModel::Middle);
     let configs: Vec<(&str, PreferenceSet)> = vec![
         ("coalesce", PreferenceSet::coalescing_only()),
@@ -98,7 +106,7 @@ fn ablation() -> Vec<WorkloadResult> {
             .iter()
             .map(|(_, prefs)| {
                 let alloc = PreferenceAllocator::with_preferences(*prefs);
-                let r = run_workload_timed(&alloc, &w, &target);
+                let r = run_workload_metered(&alloc, &w, &target, metrics);
                 let c = r.cycles;
                 all.push(r);
                 c

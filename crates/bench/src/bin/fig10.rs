@@ -10,9 +10,12 @@
 //! three algorithms: ours restricted to coalescing, Park–Moon optimistic
 //! coalescing, and the full-preference allocator.
 
-use pdgc_bench::{geo_mean, print_table, run_workload_timed, write_results, WorkloadResult};
+use pdgc_bench::{
+    geo_mean, print_table, run_workload_metered, write_metrics, write_results, WorkloadResult,
+};
 use pdgc_core::baselines::OptimisticAllocator;
 use pdgc_core::{PreferenceAllocator, RegisterAllocator};
+use pdgc_obs::MetricsRegistry;
 use pdgc_target::{PressureModel, TargetDesc};
 use pdgc_workloads::{generate, specjvm_suite};
 
@@ -24,6 +27,7 @@ fn main() {
     ];
 
     let mut all_results: Vec<WorkloadResult> = Vec::new();
+    let mut metrics = MetricsRegistry::default();
     for (sub, model) in [
         ("(a)", PressureModel::High),
         ("(b)", PressureModel::Middle),
@@ -40,7 +44,7 @@ fn main() {
             let w = generate(&prof);
             let results: Vec<WorkloadResult> = algs
                 .iter()
-                .map(|a| run_workload_timed(a.as_ref(), &w, &target))
+                .map(|a| run_workload_metered(a.as_ref(), &w, &target, &mut metrics))
                 .collect();
             let cycles: Vec<u64> = results.iter().map(|r| r.cycles).collect();
             all_results.extend(results);
@@ -63,5 +67,9 @@ fn main() {
     match write_results("fig10", &all_results) {
         Ok(path) => println!("results written to {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
+    }
+    match write_metrics("fig10", "all", "ia64-16+24+32", &metrics) {
+        Ok(path) => println!("metrics written to {}", path.display()),
+        Err(e) => eprintln!("could not write metrics: {e}"),
     }
 }

@@ -6,9 +6,12 @@
 //! optimistic, Briggs+aggressive), the Lueh–Gross-style
 //! "aggressive+volatility" allocator, and full preferences (= 1.00).
 
-use pdgc_bench::{geo_mean, print_table, run_workload_timed, write_results, WorkloadResult};
+use pdgc_bench::{
+    geo_mean, print_table, run_workload_metered, write_metrics, write_results, WorkloadResult,
+};
 use pdgc_core::baselines::{BriggsAllocator, CallCostAllocator, OptimisticAllocator};
 use pdgc_core::{PreferenceAllocator, RegisterAllocator};
+use pdgc_obs::MetricsRegistry;
 use pdgc_target::{PressureModel, TargetDesc};
 use pdgc_workloads::{generate, specjvm_suite};
 
@@ -24,13 +27,14 @@ fn main() {
 
     println!("Figure 11: elapsed time relative to full preferences, 24 registers");
     let mut all_results: Vec<WorkloadResult> = Vec::new();
+    let mut metrics = MetricsRegistry::default();
     let mut table = Vec::new();
     let mut ratios: Vec<Vec<f64>> = vec![Vec::new(); algs.len()];
     for prof in specjvm_suite() {
         let w = generate(&prof);
         let results: Vec<WorkloadResult> = algs
             .iter()
-            .map(|a| run_workload_timed(a.as_ref(), &w, &target))
+            .map(|a| run_workload_metered(a.as_ref(), &w, &target, &mut metrics))
             .collect();
         let cycles: Vec<u64> = results.iter().map(|r| r.cycles).collect();
         all_results.extend(results);
@@ -60,5 +64,9 @@ fn main() {
     match write_results("fig11", &all_results) {
         Ok(path) => println!("results written to {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
+    }
+    match write_metrics("fig11", "all", &target.name, &metrics) {
+        Ok(path) => println!("metrics written to {}", path.display()),
+        Err(e) => eprintln!("could not write metrics: {e}"),
     }
 }

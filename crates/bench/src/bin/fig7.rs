@@ -3,7 +3,7 @@
 //! the Coloring Precedence Graph, the final assignment, and the final
 //! machine code with its fused paired load.
 
-use pdgc_bench::{write_results, WorkloadResult};
+use pdgc_bench::{write_metrics, write_results, WorkloadResult};
 use pdgc_core::build::collect_copies;
 use pdgc_core::cost::CostModel;
 use pdgc_core::cpg::Cpg;
@@ -196,6 +196,10 @@ fn main() {
     let alloc = PreferenceAllocator::full();
     let check = check_arg();
     let mut phases = PhaseTimes::default();
+    // The scratch path fills the always-on metrics registry alongside the
+    // tracer; single-function entry points keep the full checker scope.
+    let mut scratch = pdgc_core::PhaseScratch::new();
+    let scope = pdgc_core::CheckScope::Full;
     let out = match trace_arg() {
         Some(path) => {
             let file = std::fs::File::create(&path)
@@ -206,7 +210,9 @@ fn main() {
                     a: &mut sink,
                     b: &mut phases,
                 };
-                alloc.allocate_checked(&func, &target, &mut tee, check).unwrap()
+                alloc
+                    .allocate_scratch(&func, &target, &mut tee, check, scope, &mut scratch)
+                    .unwrap()
             };
             use std::io::Write as _;
             sink.into_inner().flush().unwrap();
@@ -214,7 +220,7 @@ fn main() {
             out
         }
         None => alloc
-            .allocate_checked(&func, &target, &mut phases, check)
+            .allocate_scratch(&func, &target, &mut phases, check, scope, &mut scratch)
             .unwrap(),
     };
     if check.should_check() {
@@ -244,6 +250,10 @@ fn main() {
     match write_results("fig7", &[record]) {
         Ok(path) => println!("results written to {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
+    }
+    match write_metrics("fig7", alloc.name(), &target.name, &scratch.metrics) {
+        Ok(path) => println!("metrics written to {}", path.display()),
+        Err(e) => eprintln!("could not write metrics: {e}"),
     }
 }
 

@@ -12,10 +12,13 @@
 //! coalesce preferences only), Park–Moon optimistic coalescing, and
 //! Briggs-style coloring with aggressive coalescing.
 
-use pdgc_bench::{fmt_ratio, print_table, run_workload_timed, write_results, WorkloadResult};
+use pdgc_bench::{
+    fmt_ratio, print_table, run_workload_metered, write_metrics, write_results, WorkloadResult,
+};
 use pdgc_core::baselines::{BriggsAllocator, ChaitinAllocator, OptimisticAllocator};
 use pdgc_core::{ClassStats, PreferenceAllocator, RegisterAllocator};
 use pdgc_ir::RegClass;
+use pdgc_obs::MetricsRegistry;
 use pdgc_target::{PressureModel, TargetDesc};
 use pdgc_workloads::{generate, specjvm_suite};
 
@@ -27,6 +30,7 @@ fn main() {
     ];
 
     let mut all_results: Vec<WorkloadResult> = Vec::new();
+    let mut metrics = MetricsRegistry::default();
     for model in [PressureModel::High, PressureModel::Low] {
         let regs = model.num_regs();
         let target = TargetDesc::ia64_like(model);
@@ -47,14 +51,14 @@ fn main() {
         let workloads: Vec<_> = suite.iter().map(generate).collect();
         let base: Vec<WorkloadResult> = workloads
             .iter()
-            .map(|w| run_workload_timed(&ChaitinAllocator, w, &target))
+            .map(|w| run_workload_metered(&ChaitinAllocator, w, &target, &mut metrics))
             .collect();
         let results: Vec<Vec<WorkloadResult>> = algs
             .iter()
             .map(|a| {
                 workloads
                     .iter()
-                    .map(|w| run_workload_timed(a.as_ref(), w, &target))
+                    .map(|w| run_workload_metered(a.as_ref(), w, &target, &mut metrics))
                     .collect()
             })
             .collect();
@@ -109,5 +113,9 @@ fn main() {
     match write_results("fig9", &all_results) {
         Ok(path) => println!("results written to {}", path.display()),
         Err(e) => eprintln!("could not write results: {e}"),
+    }
+    match write_metrics("fig9", "all", "ia64-16+32", &metrics) {
+        Ok(path) => println!("metrics written to {}", path.display()),
+        Err(e) => eprintln!("could not write metrics: {e}"),
     }
 }

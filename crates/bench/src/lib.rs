@@ -13,9 +13,9 @@
 
 pub mod batch;
 
-use pdgc_core::{AllocStats, ClassStats, RegisterAllocator};
+use pdgc_core::{AllocStats, CheckMode, CheckScope, ClassStats, PhaseScratch, RegisterAllocator};
 use pdgc_obs::json::JsonObject;
-use pdgc_obs::PhaseTimes;
+use pdgc_obs::{MetricsRegistry, PhaseTimes};
 use pdgc_sim::{run_mach, DEFAULT_FUEL};
 use pdgc_target::TargetDesc;
 use pdgc_workloads::{default_args, Workload};
@@ -93,6 +93,47 @@ fn run_workload_inner(
     }
 }
 
+/// [`run_workload`], accumulating the always-on metrics (counters,
+/// scorecard, latency histograms) into `metrics`. Uses the pooled
+/// per-call scratch path — the same one the batch driver takes — so the
+/// registry fills exactly as it would under `pdgc bench batch`.
+pub fn run_workload_metered(
+    alloc: &dyn RegisterAllocator,
+    workload: &Workload,
+    target: &TargetDesc,
+    metrics: &mut MetricsRegistry,
+) -> WorkloadResult {
+    let mut stats = AllocStats::default();
+    let mut cycles = 0u64;
+    let mut phases = PhaseTimes::default();
+    let mut scratch = PhaseScratch::new();
+    for func in &workload.funcs {
+        let out = alloc
+            .allocate_scratch(
+                func,
+                target,
+                &mut phases,
+                CheckMode::Off,
+                CheckScope::Full,
+                &mut scratch,
+            )
+            .unwrap_or_else(|e| panic!("{} failed on {}: {e}", alloc.name(), func.name));
+        scratch.metrics.drain_into(metrics);
+        stats.accumulate(&out.stats);
+        let exec = run_mach(&out.mach, target, &default_args(func), DEFAULT_FUEL)
+            .unwrap_or_else(|e| panic!("{} produced diverging {}: {e}", alloc.name(), func.name));
+        cycles += exec.cycles;
+    }
+    WorkloadResult {
+        allocator: alloc.name(),
+        workload: workload.name.clone(),
+        target: target.name.clone(),
+        stats,
+        cycles,
+        phases,
+    }
+}
+
 fn class_json(c: &ClassStats) -> String {
     JsonObject::new()
         .u64("copies_before", c.copies_before as u64)
@@ -114,6 +155,7 @@ fn stats_json(s: &AllocStats) -> String {
         .u64("caller_save_insts", s.caller_save_insts as u64)
         .u64("nonvolatiles_used", s.nonvolatiles_used as u64)
         .u64("paired_loads", s.paired_loads as u64)
+        .u64("paired_candidates", s.paired_candidates as u64)
         .u64("zero_extensions", s.zero_extensions as u64)
         .u64("rounds", s.rounds as u64)
         .u64("frame_slots", u64::from(s.frame_slots))
@@ -156,6 +198,44 @@ pub fn write_results(
         )
         .finish();
     std::fs::write(&path, body + "\n")?;
+    Ok(path)
+}
+
+/// One metrics snapshot as the `results/metrics.json` object: run
+/// provenance (`source`, `allocator`, `target`) plus the registry's
+/// three sections (`counters`, `scorecard_hists`, `latency_hists`).
+/// `pdgc report` diffs two of these.
+pub fn metrics_snapshot_json(
+    source: &str,
+    allocator: &str,
+    target: &str,
+    m: &MetricsRegistry,
+) -> String {
+    JsonObject::new()
+        .str("source", source)
+        .str("allocator", allocator)
+        .str("target", target)
+        .raw("counters", &m.counters_json())
+        .raw("scorecard_hists", &m.scorecard_hists_json())
+        .raw("latency_hists", &m.latency_hists_json())
+        .finish()
+}
+
+/// Writes [`metrics_snapshot_json`] to `results/metrics.json`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (directory creation, file write).
+pub fn write_metrics(
+    source: &str,
+    allocator: &str,
+    target: &str,
+    m: &MetricsRegistry,
+) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join("metrics.json");
+    std::fs::write(&path, metrics_snapshot_json(source, allocator, target, m) + "\n")?;
     Ok(path)
 }
 

@@ -304,6 +304,11 @@ pub struct CheckReport {
     pub mach_insts: usize,
     /// Fused paired loads validated against the target's `PairRule`.
     pub paired_loads: usize,
+    /// The scope the proof ran at ([`CheckScope::Full`] re-proves value
+    /// flow everywhere; [`CheckScope::Rewritten`] replays only
+    /// rewriter-changed blocks) — recorded so metrics snapshots can tell
+    /// full proofs from incremental ones.
+    pub scope: CheckScope,
 }
 
 /// Independently proves that `mach` (rewritten under `assignment`)
@@ -568,6 +573,7 @@ fn check_body(
                 .map(|&b| mach.blocks[b.index()].len())
                 .sum(),
             paired_loads,
+            scope,
         })
     } else {
         fail(violations)

@@ -2,8 +2,8 @@
 
 use crate::cpg::Cpg;
 use crate::pipeline::{
-    run_pipeline, run_pipeline_scratch, run_pipeline_traced, Analyses, ClassCtx, ClassStrategy,
-    RoundOutcome,
+    run_pipeline, run_pipeline_scratch_checked, run_pipeline_traced, Analyses, ClassCtx,
+    ClassStrategy, RoundOutcome,
 };
 use crate::rpg::build_rpg;
 use crate::scratch::PhaseScratch;
@@ -82,7 +82,8 @@ pub trait RegisterAllocator {
     /// pooled) and defers to [`Self::allocate_traced`]; scratch-aware
     /// allocators override it with the fully pooled pipeline. Either way
     /// the result is bit-identical to [`Self::allocate_checked`] with
-    /// [`CheckScope::Full`].
+    /// [`CheckScope::Full`], and the checker's runs land in
+    /// `scratch.metrics` either way.
     ///
     /// # Errors
     ///
@@ -98,7 +99,7 @@ pub trait RegisterAllocator {
         scratch: &mut PhaseScratch,
     ) -> Result<AllocOutput, AllocError> {
         let out = self.allocate_traced(func, target, tracer)?;
-        crate::pipeline::check_output_in(&out, target, tracer, check, scope, &mut scratch.check)?;
+        crate::pipeline::check_output_metered(&out, target, tracer, check, scope, scratch)?;
         Ok(out)
     }
 }
@@ -178,6 +179,7 @@ impl ClassStrategy for PreferenceAllocator {
         if self.pre_coalesce {
             // Conservative (never spill-causing) merges before simplify.
             use crate::baselines::{briggs_conservative_ok, fold_spill_costs, george_ok};
+            let t0 = std::time::Instant::now();
             with_span(tracer, Phase::Coalesce, round, Some(class), || loop {
                 let mut merged = false;
                 for c in &ctx.copies {
@@ -206,6 +208,9 @@ impl ClassStrategy for PreferenceAllocator {
                     break;
                 }
             });
+            cls.select
+                .metrics
+                .observe_latency(Phase::Coalesce, t0.elapsed().as_nanos() as u64);
             fold_spill_costs(&ctx.ifg, &mut costs);
             // A representative absorbing an unspillable temporary becomes
             // unspillable itself.
@@ -216,6 +221,7 @@ impl ClassStrategy for PreferenceAllocator {
                 }
             }
         }
+        let t0 = std::time::Instant::now();
         let cpg = with_span(tracer, Phase::Simplify, round, Some(class), || {
             let sr = simplify_in(
                 &mut ctx.ifg,
@@ -229,6 +235,9 @@ impl ClassStrategy for PreferenceAllocator {
             sr.recycle(&mut cls.simplify);
             cpg
         });
+        cls.select
+            .metrics
+            .observe_latency(Phase::Simplify, t0.elapsed().as_nanos() as u64);
         if tracer.wants_graphs() {
             for (kind, dot) in [
                 (GraphKind::Ifg, crate::dot::ifg_to_dot(&ctx.ifg, &ctx.nodes)),
@@ -244,7 +253,7 @@ impl ClassStrategy for PreferenceAllocator {
         };
         // `with_span` can't wrap this call: select itself needs the tracer,
         // so the span is timed by hand around the traced select.
-        let started = tracer.enabled().then(std::time::Instant::now);
+        let t0 = std::time::Instant::now();
         let res = select_traced_in(
             &ctx.ifg,
             &ctx.nodes,
@@ -258,12 +267,16 @@ impl ClassStrategy for PreferenceAllocator {
             tracer,
             &mut cls.select,
         );
-        if let Some(t0) = started {
+        let select_nanos = t0.elapsed().as_nanos();
+        cls.select
+            .metrics
+            .observe_latency(Phase::Select, select_nanos as u64);
+        if tracer.enabled() {
             tracer.record(&Event::Span {
                 phase: Phase::Select,
                 round,
                 class: Some(class),
-                nanos: t0.elapsed().as_nanos(),
+                nanos: select_nanos,
             });
         }
         cpg.recycle(&mut cls.cpg);
@@ -322,9 +335,7 @@ impl RegisterAllocator for PreferenceAllocator {
         scope: CheckScope,
         scratch: &mut PhaseScratch,
     ) -> Result<AllocOutput, AllocError> {
-        let out = run_pipeline_scratch(func, target, self, tracer, scratch)?;
-        crate::pipeline::check_output_in(&out, target, tracer, check, scope, &mut scratch.check)?;
-        Ok(out)
+        run_pipeline_scratch_checked(func, target, self, tracer, check, scope, scratch)
     }
 }
 

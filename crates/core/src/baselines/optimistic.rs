@@ -182,6 +182,20 @@ impl RegisterAllocator for OptimisticAllocator {
     ) -> Result<AllocOutput, AllocError> {
         run_pipeline_traced(func, target, self, tracer)
     }
+
+    fn allocate_scratch(
+        &self,
+        func: &Function,
+        target: &TargetDesc,
+        tracer: &mut dyn Tracer,
+        check: crate::CheckMode,
+        scope: crate::CheckScope,
+        scratch: &mut crate::PhaseScratch,
+    ) -> Result<AllocOutput, AllocError> {
+        crate::pipeline::run_pipeline_scratch_checked(
+            func, target, self, tracer, check, scope, scratch,
+        )
+    }
 }
 
 #[cfg(test)]

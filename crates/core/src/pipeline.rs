@@ -27,9 +27,10 @@ use crate::stats::AllocStats;
 use pdgc_analysis::{CallCrossing, Cfg, DefUse, Dominators, Liveness, LivenessScratch, Loops};
 use pdgc_check::{check_allocation_in, CheckError, CheckMode, CheckScope, CheckScratch};
 use pdgc_ir::{Function, RegClass, VReg};
-use pdgc_obs::{with_span, Event, NoopTracer, Phase, Tracer};
+use pdgc_obs::{with_span, Counter, Event, NoopTracer, Phase, Tracer, ValueHist};
 use pdgc_target::{MachFunction, PhysReg, TargetDesc};
 use std::fmt;
+use std::time::Instant;
 
 /// Upper bound on spill iterations before giving up.
 pub const MAX_ROUNDS: usize = 16;
@@ -362,7 +363,14 @@ pub fn run_pipeline_scratch(
     tracer: &mut dyn Tracer,
     scratch: &mut PhaseScratch,
 ) -> Result<AllocOutput, AllocError> {
+    // Always-on metrics: each phase gets a manual `Instant` pair recorded
+    // into `scratch.metrics` (an array bump, no allocation), independent
+    // of whether the opt-in tracer is attached.
+    let t0 = Instant::now();
     let mut lowered = with_span(tracer, Phase::Lower, 0, None, || lower_abi(func, target))?;
+    scratch
+        .metrics
+        .observe_latency(Phase::Lower, t0.elapsed().as_nanos() as u64);
     let mut no_spill_vregs = scratch.flags.take_filled(lowered.func.num_vregs(), false);
     let mut slots = 0u32;
     let mut stats = AllocStats::default();
@@ -371,15 +379,20 @@ pub fn run_pipeline_scratch(
         if tracer.enabled() {
             tracer.record(&Event::RoundStart { round: round as u32 });
         }
+        let t0 = Instant::now();
         let analyses = with_span(tracer, Phase::Analyze, round as u32, None, || {
             analyze_in(&lowered.func, &mut scratch.liveness)
         });
+        scratch
+            .metrics
+            .observe_latency(Phase::Analyze, t0.elapsed().as_nanos() as u64);
         // The assignment is part of the result (it escapes into
         // `AllocOutput`), so it is not pooled.
         let mut assignment: Vec<Option<PhysReg>> = vec![None; lowered.func.num_vregs()];
         let mut spilled_vregs: Vec<VReg> = scratch.vregs.take();
 
         for class in RegClass::ALL {
+            let t0 = Instant::now();
             let mut ctx = with_span(tracer, Phase::Build, round as u32, Some(class), || {
                 class_ctx_for_round_in(
                     &lowered,
@@ -391,6 +404,9 @@ pub fn run_pipeline_scratch(
                     scratch,
                 )
             });
+            scratch
+                .metrics
+                .observe_latency(Phase::Build, t0.elapsed().as_nanos() as u64);
             let outcome = strategy.allocate_class(&mut ctx, &analyses, target, tracer);
             for n in ctx.nodes.all_nodes() {
                 if let Some(r) = outcome.assignment[n.index()] {
@@ -410,6 +426,14 @@ pub fn run_pipeline_scratch(
                 spilled: outcome.spilled,
             }
             .recycle(&mut scratch.class.select);
+            // The strategy recorded its per-class metrics (coalesce/
+            // simplify/select latency, screening outcomes) into the class
+            // scratch it took; hoist them into the worker registry.
+            scratch
+                .class
+                .select
+                .metrics
+                .drain_into(&mut scratch.metrics);
         }
         analyses.recycle(&mut scratch.liveness);
 
@@ -430,9 +454,14 @@ pub fn run_pipeline_scratch(
         if spilled_vregs.is_empty() {
             scratch.vregs.put(spilled_vregs);
             stats.rounds = round;
+            let t0 = Instant::now();
             let mach = with_span(tracer, Phase::Rewrite, round as u32, None, || {
                 rewrite(&lowered.func, &assignment, target, slots, &mut stats)
             });
+            scratch
+                .metrics
+                .observe_latency(Phase::Rewrite, t0.elapsed().as_nanos() as u64);
+            record_scorecard(&mut scratch.metrics, &stats);
             if tracer.enabled() {
                 tracer.record(&Event::Finish {
                     rounds: round as u32,
@@ -449,9 +478,13 @@ pub fn run_pipeline_scratch(
             });
         }
 
+        let t0 = Instant::now();
         let outcome = with_span(tracer, Phase::Spill, round as u32, None, || {
             insert_spill_code(&mut lowered.func, &spilled_vregs, &mut slots)
         });
+        scratch
+            .metrics
+            .observe_latency(Phase::Spill, t0.elapsed().as_nanos() as u64);
         if tracer.enabled() {
             tracer.record(&Event::SpillCode {
                 round: round as u32,
@@ -470,6 +503,52 @@ pub fn run_pipeline_scratch(
     Err(AllocError::TooManyRounds {
         func: func.name.clone(),
     })
+}
+
+/// Records one finished function's [`AllocStats`] into the always-on
+/// scorecard: every evaluation quantity becomes a named counter, and the
+/// per-function distributions (rounds, spill instructions) feed the
+/// scorecard histograms.
+fn record_scorecard(m: &mut pdgc_obs::MetricsRegistry, stats: &AllocStats) {
+    m.bump(Counter::FuncsAllocated);
+    m.add(Counter::RoundsTotal, stats.rounds as u64);
+    m.add(Counter::CopiesBefore, stats.copies_before as u64);
+    m.add(Counter::MovesEliminated, stats.moves_eliminated as u64);
+    m.add(Counter::CopiesRemaining, stats.copies_remaining as u64);
+    m.add(Counter::SpillLoads, stats.spill_loads as u64);
+    m.add(Counter::SpillStores, stats.spill_stores as u64);
+    m.add(Counter::SpillInstructions, stats.spill_instructions as u64);
+    m.add(Counter::CallerSaveInsts, stats.caller_save_insts as u64);
+    m.add(Counter::NonvolatilesUsed, stats.nonvolatiles_used as u64);
+    m.add(Counter::PairedLoadCandidates, stats.paired_candidates as u64);
+    m.add(Counter::PairedLoadsFused, stats.paired_loads as u64);
+    m.add(Counter::ZeroExtensions, stats.zero_extensions as u64);
+    m.add(Counter::FrameSlots, u64::from(stats.frame_slots));
+    m.observe_value(ValueHist::RoundsPerFunc, stats.rounds as u64);
+    m.observe_value(ValueHist::SpillsPerFunc, stats.spill_instructions as u64);
+}
+
+/// [`run_pipeline_scratch`] followed by [`check_output_metered`]: the
+/// pooled, metered pipeline plus the symbolic checker, in one call. Every
+/// allocator's `allocate_scratch` routes through here so batch workers
+/// share one code path (and one metrics contract) regardless of strategy.
+///
+/// # Errors
+///
+/// Same as [`run_pipeline_scratch`], plus [`AllocError::CheckFailed`]
+/// when the checker finds a violation.
+pub fn run_pipeline_scratch_checked(
+    func: &Function,
+    target: &TargetDesc,
+    strategy: &dyn ClassStrategy,
+    tracer: &mut dyn Tracer,
+    mode: CheckMode,
+    scope: CheckScope,
+    scratch: &mut PhaseScratch,
+) -> Result<AllocOutput, AllocError> {
+    let out = run_pipeline_scratch(func, target, strategy, tracer, scratch)?;
+    check_output_metered(&out, target, tracer, mode, scope, scratch)?;
+    Ok(out)
 }
 
 /// [`run_pipeline_traced`] followed by the post-allocation symbolic
@@ -543,6 +622,67 @@ pub fn check_output_in(
     match result {
         Ok(_) => Ok(()),
         Err(e) => {
+            if tracer.enabled() {
+                tracer.record(&Event::CheckFailed {
+                    func: e.func.clone(),
+                    violations: e.violations.iter().map(|v| v.to_string()).collect(),
+                });
+            }
+            Err(AllocError::CheckFailed(e))
+        }
+    }
+}
+
+/// [`check_output_in`] against a full [`PhaseScratch`], with the run
+/// recorded in the always-on metrics: check latency, runs by scope, the
+/// proof's coverage (blocks/instructions/pairs, from the [`CheckReport`]
+/// that [`check_output_in`] discards), and violation counts on rejection.
+///
+/// [`CheckReport`]: pdgc_check::CheckReport
+///
+/// # Errors
+///
+/// [`AllocError::CheckFailed`] when the checker finds a violation.
+pub fn check_output_metered(
+    out: &AllocOutput,
+    target: &TargetDesc,
+    tracer: &mut dyn Tracer,
+    mode: CheckMode,
+    scope: CheckScope,
+    scratch: &mut PhaseScratch,
+) -> Result<(), AllocError> {
+    if !mode.should_check() {
+        return Ok(());
+    }
+    let round = out.stats.rounds as u32;
+    let t0 = Instant::now();
+    let result = with_span(tracer, Phase::Check, round, None, || {
+        check_allocation_in(
+            &out.lowered,
+            &out.assignment,
+            &out.mach,
+            target,
+            scope,
+            &mut scratch.check,
+        )
+    });
+    let m = &mut scratch.metrics;
+    m.observe_latency(Phase::Check, t0.elapsed().as_nanos() as u64);
+    m.bump(Counter::CheckRuns);
+    m.bump(match scope {
+        CheckScope::Full => Counter::CheckScopeFull,
+        CheckScope::Rewritten => Counter::CheckScopeRewritten,
+    });
+    match result {
+        Ok(report) => {
+            m.add(Counter::CheckBlocksProven, report.blocks as u64);
+            m.add(Counter::CheckIrInsts, report.ir_insts as u64);
+            m.add(Counter::CheckMachInsts, report.mach_insts as u64);
+            m.add(Counter::CheckPairedLoads, report.paired_loads as u64);
+            Ok(())
+        }
+        Err(e) => {
+            m.add(Counter::CheckViolations, e.violations.len() as u64);
             if tracer.enabled() {
                 tracer.record(&Event::CheckFailed {
                     func: e.func.clone(),

@@ -254,32 +254,49 @@ pub fn rewrite(
 fn fuse_paired_loads(block: &mut Vec<MInst>, target: &TargetDesc, stats: &mut AllocStats) {
     let mut i = 0;
     while i < block.len() {
-        if let Some(j) = pair_partner(block, i, target) {
-            let (
-                MInst::Load {
-                    dst: d1,
+        match pair_partner(block, i, target) {
+            PairScan::Fuse(j) => {
+                let (
+                    MInst::Load {
+                        dst: d1,
+                        base,
+                        offset: o1,
+                    },
+                    MInst::Load {
+                        dst: d2, offset: o2, ..
+                    },
+                ) = (block[i].clone(), block[j].clone())
+                else {
+                    unreachable!()
+                };
+                block[i] = MInst::LoadPair {
+                    dst1: d1,
+                    dst2: d2,
                     base,
                     offset: o1,
-                },
-                MInst::Load {
-                    dst: d2, offset: o2, ..
-                },
-            ) = (block[i].clone(), block[j].clone())
-            else {
-                unreachable!()
-            };
-            block[i] = MInst::LoadPair {
-                dst1: d1,
-                dst2: d2,
-                base,
-                offset: o1,
-                offset2: o2,
-            };
-            block.remove(j);
-            stats.paired_loads += 1;
+                    offset2: o2,
+                };
+                block.remove(j);
+                stats.paired_loads += 1;
+                stats.paired_candidates += 1;
+            }
+            PairScan::Candidate => stats.paired_candidates += 1,
+            PairScan::NoPartner => {}
         }
         i += 1;
     }
+}
+
+/// Outcome of scanning a load's fusion window.
+enum PairScan {
+    /// No partner address inside the window (or a barrier cut it short).
+    NoPartner,
+    /// An address partner exists but register constraints (pair rule,
+    /// alignment, intervening uses) block the fusion — a missed
+    /// opportunity the scorecard counts against the sequential preference.
+    Candidate,
+    /// The load at this index fuses.
+    Fuse(usize),
 }
 
 /// Finds, within the class's scan window past the load at `i`, a later
@@ -291,18 +308,20 @@ fn fuse_paired_loads(block: &mut Vec<MInst>, target: &TargetDesc, stats: &mut Al
 /// the base, and any instruction that reads or writes `d2`. Intervening
 /// defs or uses of `d1` are harmless — the first load already executes at
 /// position `i` either way.
-fn pair_partner(block: &[MInst], i: usize, target: &TargetDesc) -> Option<usize> {
+fn pair_partner(block: &[MInst], i: usize, target: &TargetDesc) -> PairScan {
     let MInst::Load {
         dst: d1,
         base,
         offset: o1,
     } = block[i]
     else {
-        return None;
+        return PairScan::NoPartner;
     };
-    let rule = *target.pair_rule(d1.class())?;
+    let Some(&rule) = target.pair_rule(d1.class()) else {
+        return PairScan::NoPartner;
+    };
     if d1 == base {
-        return None;
+        return PairScan::NoPartner;
     }
     // A partner may sit one stride above *or* below: descending-offset
     // pairs (the RPG's minus-stride shape) fuse with the later load
@@ -331,14 +350,14 @@ fn pair_partner(block: &[MInst], i: usize, target: &TargetDesc) -> Option<usize>
                     && rule.aligned(lo_off)
                     && rule.allows(lo_dst, hi_dst)
                     && block[i + 1..j].iter().all(|x| !x.regs().contains(&d2));
-                return ok.then_some(j);
+                return if ok { PairScan::Fuse(j) } else { PairScan::Candidate };
             }
         }
         if fusion_barrier(&block[j], base) {
-            return None;
+            return PairScan::NoPartner;
         }
     }
-    None
+    PairScan::NoPartner
 }
 
 /// Whether the second load of a pair may be hoisted past `inst`: memory

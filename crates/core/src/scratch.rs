@@ -26,6 +26,7 @@ use pdgc_analysis::LivenessScratch;
 use pdgc_arena::VecPool;
 use pdgc_check::CheckScratch;
 use pdgc_ir::VReg;
+use pdgc_obs::MetricsRegistry;
 
 /// Scratch for one class-strategy invocation: the simplify and select
 /// phases' working sets.
@@ -71,6 +72,13 @@ pub struct PhaseScratch {
     pub flags: VecPool<bool>,
     /// Pool for vreg work lists (the round's spill set).
     pub vregs: VecPool<VReg>,
+    /// Always-on metrics accumulated by every function pushed through
+    /// this scratch: per-phase latency histograms plus the
+    /// allocation-quality scorecard. Fixed-size arrays — recording never
+    /// allocates. Batch workers drain this per function
+    /// ([`MetricsRegistry::drain_into`]) and merge at the slot-keyed
+    /// join, so totals are bit-identical across job counts.
+    pub metrics: MetricsRegistry,
 }
 
 impl PhaseScratch {

@@ -22,7 +22,10 @@ use crate::ifg::InterferenceGraph;
 use crate::node::{NodeId, NodeMap};
 use crate::rpg::{PrefKind, PrefTarget, Preference, Rpg};
 use pdgc_arena::{NestedPool, VecPool};
-use pdgc_obs::{Considered, Decision, Event, NoopTracer, SpillReason, Tracer, Verdict};
+use pdgc_obs::{
+    Considered, Counter, Decision, Event, MetricsRegistry, NoopTracer, SpillReason, Tracer,
+    ValueHist, Verdict,
+};
 use pdgc_target::{PhysReg, TargetDesc};
 
 /// Resettable scratch for [`select_traced_in`]: the reverse-preference
@@ -43,6 +46,11 @@ pub struct SelectScratch {
     /// Register-occupancy buffer threaded into the selector's
     /// differential scan (the `select.rs` take/restore audit target).
     used: Vec<bool>,
+    /// Always-on screening-outcome counters (honored/deferred/skipped by
+    /// preference kind, spill reasons, strength distribution) plus the
+    /// strategy's per-class phase latencies. The pipeline drains this
+    /// into the worker's `PhaseScratch` registry after every class.
+    pub metrics: MetricsRegistry,
 }
 
 impl SelectScratch {
@@ -218,6 +226,7 @@ pub fn select_traced_in(
         used_scratch: std::mem::take(&mut scratch.used),
         phys: std::mem::take(&mut scratch.phys),
         screen_buf: std::mem::take(&mut scratch.screens),
+        metrics: std::mem::take(&mut scratch.metrics),
     }
     .run(tracer, scratch)
 }
@@ -249,6 +258,9 @@ struct Selector<'a> {
     phys: VecPool<PhysReg>,
     /// Reused screening list, cleared between nodes.
     screen_buf: Vec<ScreenEntry>,
+    /// Taken from the scratch for the duration of the select, parked back
+    /// in `run`; every bump is an array write, never an allocation.
+    metrics: MetricsRegistry,
 }
 
 /// One screened preference of the node being allocated: an *honorable*
@@ -261,6 +273,18 @@ struct ScreenEntry {
     pref: Preference,
     deferred: bool,
     regs: Vec<PhysReg>,
+}
+
+/// How one preference screen ended, for the scorecard.
+#[derive(Clone, Copy)]
+enum ScreenOutcome {
+    /// Narrowed the candidate set with the partner already placed.
+    Honored,
+    /// Narrowed the set to keep an unallocated partner feasible (2.2).
+    Deferred,
+    /// Abandoned: the filter would have emptied the set (or added no
+    /// gain).
+    Skipped,
 }
 
 impl Selector<'_> {
@@ -328,6 +352,7 @@ impl Selector<'_> {
         scratch.used = std::mem::take(&mut self.used_scratch);
         scratch.phys = std::mem::take(&mut self.phys);
         scratch.screens = std::mem::take(&mut self.screen_buf);
+        scratch.metrics = std::mem::take(&mut self.metrics);
         SelectResult {
             assignment: self.assignment,
             spilled,
@@ -540,6 +565,26 @@ impl Selector<'_> {
         }
     }
 
+    /// The scorecard counter for one screening outcome: the (kind,
+    /// honored/deferred/skipped) cell of the Figure 5(a) table.
+    fn screen_counter(kind: PrefKind, outcome: ScreenOutcome) -> Counter {
+        use ScreenOutcome::*;
+        match (kind, outcome) {
+            (PrefKind::Coalesce, Honored) => Counter::PrefCoalesceHonored,
+            (PrefKind::Coalesce, Deferred) => Counter::PrefCoalesceDeferred,
+            (PrefKind::Coalesce, Skipped) => Counter::PrefCoalesceSkipped,
+            (PrefKind::SequentialPlus, Honored) => Counter::PrefSeqPlusHonored,
+            (PrefKind::SequentialPlus, Deferred) => Counter::PrefSeqPlusDeferred,
+            (PrefKind::SequentialPlus, Skipped) => Counter::PrefSeqPlusSkipped,
+            (PrefKind::SequentialMinus, Honored) => Counter::PrefSeqMinusHonored,
+            (PrefKind::SequentialMinus, Deferred) => Counter::PrefSeqMinusDeferred,
+            (PrefKind::SequentialMinus, Skipped) => Counter::PrefSeqMinusSkipped,
+            (PrefKind::Prefers, Honored) => Counter::PrefPrefersHonored,
+            (PrefKind::Prefers, Deferred) => Counter::PrefPrefersDeferred,
+            (PrefKind::Prefers, Skipped) => Counter::PrefPrefersSkipped,
+        }
+    }
+
     /// The trace label for a preference target.
     fn target_str(&self, target: PrefTarget) -> String {
         match target {
@@ -599,6 +644,7 @@ impl Selector<'_> {
         if avail.is_empty() {
             self.phys.put(avail);
             self.spill(n);
+            self.metrics.bump(Counter::SelectSpilledNoRegister);
             if trace {
                 let verdict = Verdict::Spilled {
                     reason: SpillReason::NoRegister,
@@ -621,6 +667,7 @@ impl Selector<'_> {
             if let Some(s) = strongest {
                 if s < 0 {
                     self.spill(n);
+                    self.metrics.bump(Counter::SelectSpilledPreferMemory);
                     if trace {
                         let considered = screens
                             .iter()
@@ -698,12 +745,23 @@ impl Selector<'_> {
             // preference is abandoned rather than hurting this node.
             if narrowed.is_empty() {
                 self.phys.put(narrowed);
+                self.metrics
+                    .bump(Self::screen_counter(e.pref.kind, ScreenOutcome::Skipped));
             } else {
                 if let Some(en) = &mut entry {
                     en.narrowed = true;
                     en.survivors = narrowed.len() as u32;
                 }
                 self.phys.put(std::mem::replace(&mut cand, narrowed));
+                if e.deferred {
+                    self.metrics
+                        .bump(Self::screen_counter(e.pref.kind, ScreenOutcome::Deferred));
+                } else {
+                    self.metrics
+                        .bump(Self::screen_counter(e.pref.kind, ScreenOutcome::Honored));
+                    self.metrics
+                        .observe_value(ValueHist::PrefStrengthHonored, e.strength.max(0) as u64);
+                }
             }
             if regs.capacity() > 0 {
                 self.phys.put(regs);
@@ -723,6 +781,7 @@ impl Selector<'_> {
         };
         self.phys.put(cand);
         self.assignment[n.index()] = Some(reg);
+        self.metrics.bump(Counter::SelectAssigned);
         self.invalidate_after_assign(n);
         if trace {
             self.emit_decision(

@@ -59,6 +59,11 @@ pub struct AllocStats {
     pub nonvolatiles_used: usize,
     /// Paired loads fused by the rewriter.
     pub paired_loads: usize,
+    /// Loads whose fusion window contained an address partner — a fusion
+    /// *opportunity* whether or not register constraints allowed it, so
+    /// `paired_loads / paired_candidates` is the sequential-preference
+    /// satisfaction rate (always ≥ `paired_loads`).
+    pub paired_candidates: usize,
     /// Zero-extensions inserted after byte loads whose destination is not
     /// byte-capable (the limited-usage preference failed or was absent).
     pub zero_extensions: usize,
@@ -102,6 +107,7 @@ impl AllocStats {
         self.caller_save_insts += other.caller_save_insts;
         self.nonvolatiles_used += other.nonvolatiles_used;
         self.paired_loads += other.paired_loads;
+        self.paired_candidates += other.paired_candidates;
         self.zero_extensions += other.zero_extensions;
         self.rounds = self.rounds.max(other.rounds);
         self.frame_slots += other.frame_slots;

@@ -23,13 +23,22 @@
 //! zero-cost default: its `enabled()` returns `false`, and every emit site
 //! in the allocator checks that flag before constructing an event, so the
 //! untraced hot path performs no allocation and no I/O.
+//!
+//! Alongside the opt-in event stream sits the **always-on metrics layer**
+//! ([`metrics::MetricsRegistry`]): fixed-size counter arrays and log₂
+//! histograms that cost a `u64` bump per touch, are merged
+//! deterministically across batch workers, and serialize to the
+//! `results/metrics.json` snapshots the `pdgc report` regression gate
+//! diffs. See the [`metrics`] module docs for the merge contract.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod metrics;
 mod sinks;
 
+pub use metrics::{Counter, Histogram, MetricsRegistry, ValueHist};
 pub use sinks::{
     event_json, DotDirSink, FanoutTracer, JsonLinesSink, PhaseTimes, PrettySink, RecordingTracer,
 };

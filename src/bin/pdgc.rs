@@ -25,6 +25,7 @@ USAGE:
     pdgc run <FILE> [--allocator NAME] [--target NAME] [--args N,N,...] [--check[=MODE]] [TRACING]
     pdgc demo [--check[=MODE]] [TRACING]
     pdgc bench batch [--jobs N] [--allocator NAME] [--target NAME] [--check[=MODE]]
+    pdgc report --baseline FILE --current FILE
     pdgc --help
 
 ALLOCATORS:
@@ -60,7 +61,16 @@ BENCH:
     `bench batch` allocates the whole SPECjvm98 analog suite through the
     parallel batch driver at --jobs 1 and --jobs N (default: the machine's
     available parallelism), verifies the allocations are bit-identical,
-    prints throughput, and writes results/bench_batch.json.
+    prints throughput, and writes results/bench_batch.json and
+    results/metrics.json (the always-on counter/histogram snapshot).
+
+REPORT:
+    `report` diffs two metrics.json snapshots (e.g. a committed baseline
+    vs a fresh bench run) against per-metric regression thresholds:
+    spill/copy/round counters may not grow by more than their tolerance,
+    coalescing and preference-satisfaction counters may not shrink, and
+    checker violations must stay zero. Exits non-zero naming every
+    regressed metric, so CI can gate on allocation quality.
 
 FILE FORMAT:
     The textual IR produced by the library's Display impl; see
@@ -188,12 +198,16 @@ fn allocate_maybe_traced(
     target: &TargetDesc,
     o: &Options,
 ) -> Result<AllocOutput, String> {
+    // The scratch path fills the always-on metrics registry; the
+    // single-function CLI keeps the checker's full-replay scope.
+    let mut scratch = pdgc::core::PhaseScratch::new();
+    let scope = pdgc::core::CheckScope::Full;
     let out = match build_tracer(o)? {
         Some(mut tracer) => alloc
-            .allocate_checked(func, target, &mut tracer, o.check)
+            .allocate_scratch(func, target, &mut tracer, o.check, scope, &mut scratch)
             .map_err(|e| e.to_string())?,
         None => alloc
-            .allocate_checked(func, target, &mut NoopTracer, o.check)
+            .allocate_scratch(func, target, &mut NoopTracer, o.check, scope, &mut scratch)
             .map_err(|e| e.to_string())?,
     };
     if o.check.should_check() {
@@ -204,6 +218,10 @@ fn allocate_maybe_traced(
     }
     if let Some(dir) = &o.dump_graphs {
         eprintln!("graph dumps written to {dir}/");
+    }
+    match pdgc_bench::write_metrics("pdgc", alloc.name(), &target.name, &scratch.metrics) {
+        Ok(path) => eprintln!("metrics written to {}", path.display()),
+        Err(e) => eprintln!("could not write metrics: {e}"),
     }
     Ok(out)
 }
@@ -316,10 +334,22 @@ fn cmd_bench_batch(o: &Options) -> Result<(), String> {
     }
     let path = cmp.write_json().map_err(|e| e.to_string())?;
     println!("wrote {}", path.display());
+    let mpath = pdgc_bench::write_metrics(
+        "bench_batch",
+        cmp.serial.allocator,
+        &target.name,
+        &cmp.serial.metrics,
+    )
+    .map_err(|e| e.to_string())?;
+    println!("wrote {}", mpath.display());
     if !cmp.identical() {
         return Err("parallel allocation diverged from serial".into());
     }
+    if !cmp.serial.metrics.deterministic_eq(&cmp.parallel.metrics) {
+        return Err("parallel metrics diverged from serial".into());
+    }
     println!("allocations identical across job counts: yes");
+    println!("metrics identical across job counts: yes");
     Ok(())
 }
 
@@ -352,12 +382,140 @@ b2:
     Ok(())
 }
 
+/// Which direction of change regresses a gated counter.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Gate {
+    /// Growth beyond the tolerance is a regression (spills, rounds, …).
+    HigherIsWorse,
+    /// Shrinkage beyond the tolerance is a regression (coalesced moves,
+    /// honored preferences, …).
+    LowerIsWorse,
+    /// Any change is a regression (workload shape).
+    Exact,
+}
+
+/// The gated metrics: name in the snapshot's `counters` section, gate
+/// direction, and tolerance in percent of the baseline value.
+const GATES: &[(&str, Gate, u128)] = &[
+    ("spill_instructions", Gate::HigherIsWorse, 2),
+    ("spill_loads", Gate::HigherIsWorse, 2),
+    ("spill_stores", Gate::HigherIsWorse, 2),
+    ("copies_remaining", Gate::HigherIsWorse, 2),
+    ("rounds_total", Gate::HigherIsWorse, 2),
+    ("caller_save_insts", Gate::HigherIsWorse, 5),
+    ("zero_extensions", Gate::HigherIsWorse, 5),
+    ("check_violations", Gate::HigherIsWorse, 0),
+    ("moves_eliminated", Gate::LowerIsWorse, 2),
+    ("paired_loads_fused", Gate::LowerIsWorse, 2),
+    ("pref_coalesce_honored", Gate::LowerIsWorse, 5),
+    ("pref_seq_plus_honored", Gate::LowerIsWorse, 5),
+    ("pref_seq_minus_honored", Gate::LowerIsWorse, 5),
+    ("pref_prefers_honored", Gate::LowerIsWorse, 5),
+    ("funcs_allocated", Gate::Exact, 0),
+];
+
+fn read_snapshot(path: &str) -> Result<pdgc::obs::json::Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    pdgc::obs::json::Json::parse(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_report(argv: &[String]) -> Result<(), String> {
+    let mut baseline: Option<String> = None;
+    let mut current: Option<String> = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--baseline" => baseline = Some(it.next().ok_or("--baseline needs a value")?.clone()),
+            "--current" => current = Some(it.next().ok_or("--current needs a value")?.clone()),
+            other => {
+                if let Some(v) = other.strip_prefix("--baseline=") {
+                    baseline = Some(v.to_string());
+                } else if let Some(v) = other.strip_prefix("--current=") {
+                    current = Some(v.to_string());
+                } else {
+                    return Err(format!("unknown report flag {other}"));
+                }
+            }
+        }
+    }
+    let bpath = baseline.ok_or("report needs --baseline FILE")?;
+    let cpath = current.ok_or("report needs --current FILE")?;
+    let base = read_snapshot(&bpath)?;
+    let cur = read_snapshot(&cpath)?;
+    let bc = &base["counters"];
+    let cc = &cur["counters"];
+
+    println!(
+        "metrics report: {} ({}) vs {} ({})",
+        bpath,
+        base["source"].as_str().unwrap_or("?"),
+        cpath,
+        cur["source"].as_str().unwrap_or("?"),
+    );
+    println!(
+        "{:<24} {:>12} {:>12} {:>8}   verdict",
+        "metric", "baseline", "current", "tol%"
+    );
+    let mut regressions: Vec<String> = Vec::new();
+    for &(name, gate, tol) in GATES {
+        let Some(b) = bc[name].as_u64() else {
+            println!("{name:<24} {:>12} {:>12} {tol:>8}   skipped (not in baseline)", "-", "-");
+            continue;
+        };
+        let (c, verdict) = match cc[name].as_u64() {
+            None => (None, "REGRESSION (missing in current)"),
+            Some(c) => {
+                // Integer threshold math: regressed iff the change exceeds
+                // tol percent of the baseline, with no rounding slack.
+                let regressed = match gate {
+                    Gate::HigherIsWorse => u128::from(c) * 100 > u128::from(b) * (100 + tol),
+                    Gate::LowerIsWorse => u128::from(c) * 100 < u128::from(b) * (100 - tol),
+                    Gate::Exact => c != b,
+                };
+                (Some(c), if regressed { "REGRESSION" } else { "ok" })
+            }
+        };
+        let cs = c.map_or("-".to_string(), |v| v.to_string());
+        println!("{name:<24} {b:>12} {cs:>12} {tol:>8}   {verdict}");
+        if verdict.starts_with("REGRESSION") {
+            regressions.push(name.to_string());
+        }
+    }
+
+    // Latency is wall-clock and machine-dependent: report it, never gate.
+    let (bl, cl) = (&base["latency_hists"], &cur["latency_hists"]);
+    let bl_fields = bl.fields().unwrap_or(&[]);
+    if !bl_fields.is_empty() {
+        println!("\nphase latency (informational, not gated):");
+        for (phase, bh) in bl_fields {
+            let bsum = bh["sum"].as_u64().unwrap_or(0);
+            let csum = cl[phase.as_str()]["sum"].as_u64().unwrap_or(0);
+            println!(
+                "  {phase:<12} {:>10.3} ms -> {:>10.3} ms",
+                bsum as f64 / 1e6,
+                csum as f64 / 1e6
+            );
+        }
+    }
+
+    if regressions.is_empty() {
+        println!("\nno regressions: every gated metric within tolerance");
+        Ok(())
+    } else {
+        Err(format!(
+            "metrics regression in: {} (see table above)",
+            regressions.join(", ")
+        ))
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let result = match argv.first().map(String::as_str) {
         Some("allocate") => parse_options(&argv[1..]).and_then(|o| cmd_allocate(&o)),
         Some("run") => parse_options(&argv[1..]).and_then(|o| cmd_run(&o)),
         Some("demo") => parse_options(&argv[1..]).and_then(|o| cmd_demo(&o)),
+        Some("report") => cmd_report(&argv[1..]),
         Some("bench") => match argv.get(1).map(String::as_str) {
             Some("batch") => parse_options(&argv[2..]).and_then(|o| cmd_bench_batch(&o)),
             other => Err(format!(

@@ -1,0 +1,112 @@
+//! End-to-end tests of the `pdgc report` regression gate: two identical
+//! snapshots must report zero regressions and exit 0, and a snapshot
+//! with a corrupted counter must fail loudly, naming the offending
+//! metric — that failure mode is what the CI `metrics-regression` job
+//! relies on.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+const PDGC: &str = env!("CARGO_BIN_EXE_pdgc");
+
+/// Runs `pdgc demo` in a fresh scratch directory and returns the
+/// metrics snapshot it writes to `results/metrics.json` there.
+fn make_snapshot(tag: &str) -> (PathBuf, String) {
+    let dir = std::env::temp_dir().join(format!("pdgc-report-{}-{tag}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = Command::new(PDGC)
+        .arg("demo")
+        .current_dir(&dir)
+        .output()
+        .expect("run pdgc demo");
+    assert!(
+        out.status.success(),
+        "pdgc demo failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let path = dir.join("results").join("metrics.json");
+    let text = std::fs::read_to_string(&path).expect("demo wrote metrics.json");
+    (dir, text)
+}
+
+fn run_report(baseline: &std::path::Path, current: &std::path::Path) -> std::process::Output {
+    Command::new(PDGC)
+        .arg("report")
+        .arg("--baseline")
+        .arg(baseline)
+        .arg("--current")
+        .arg(current)
+        .output()
+        .expect("run pdgc report")
+}
+
+#[test]
+fn identical_snapshots_report_no_regressions() {
+    let (dir, text) = make_snapshot("identical");
+    let a = dir.join("baseline.json");
+    let b = dir.join("current.json");
+    std::fs::write(&a, &text).unwrap();
+    std::fs::write(&b, &text).unwrap();
+
+    let out = run_report(&a, &b);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        out.status.success(),
+        "identical snapshots must pass: {stdout}\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("no regressions"),
+        "missing success line in: {stdout}"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn corrupted_counter_fails_naming_the_metric() {
+    let (dir, text) = make_snapshot("corrupt");
+    let a = dir.join("baseline.json");
+    let b = dir.join("current.json");
+    std::fs::write(&a, &text).unwrap();
+
+    // Bump spill_instructions far past its 2% tolerance in the copy.
+    let key = "\"spill_instructions\":";
+    let at = text.find(key).expect("snapshot has spill_instructions") + key.len();
+    let end = at + text[at..].find(|c: char| !c.is_ascii_digit()).unwrap();
+    let corrupted = format!("{}999999{}", &text[..at], &text[end..]);
+    assert_ne!(corrupted, text);
+    std::fs::write(&b, &corrupted).unwrap();
+
+    let out = run_report(&a, &b);
+    assert!(
+        !out.status.success(),
+        "corrupted snapshot must fail the gate"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("spill_instructions"),
+        "error must name the regressed metric, got: {stderr}"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn missing_counter_in_current_is_a_regression() {
+    let (dir, text) = make_snapshot("missing");
+    let a = dir.join("baseline.json");
+    let b = dir.join("current.json");
+    std::fs::write(&a, &text).unwrap();
+
+    // Rename funcs_allocated away so the gate sees it vanish.
+    let gutted = text.replace("\"funcs_allocated\"", "\"funcs_allocated_renamed\"");
+    assert_ne!(gutted, text);
+    std::fs::write(&b, &gutted).unwrap();
+
+    let out = run_report(&a, &b);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("funcs_allocated"),
+        "error must name the missing metric"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}

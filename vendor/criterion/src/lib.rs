@@ -5,14 +5,15 @@
 //!
 //! Each benchmark body is timed with `std::time::Instant` over
 //! `sample_size` batches; the report is the **mean ± standard deviation**
-//! of the per-iteration times across batches (with the best batch shown
-//! for reference) — enough to eyeball relative costs *and* their noise,
-//! and to keep `cargo bench` / the `--all-targets` build green without
-//! the real statistics engine.
+//! of the per-iteration times across batches, plus the **p50/p90/p99
+//! percentiles** (nearest-rank over the sorted samples, with the best
+//! batch shown for reference) — enough to eyeball relative costs, their
+//! noise, *and* their tail, and to keep `cargo bench` / the
+//! `--all-targets` build green without the real statistics engine.
 //!
 //! Set `CRITERION_JSON=<path>` to additionally append one JSON line per
-//! benchmark (`name`, `mean_ns`, `stddev_ns`, `best_ns`, `samples`) for
-//! machine consumption.
+//! benchmark (`name`, `mean_ns`, `stddev_ns`, `p50_ns`, `p90_ns`,
+//! `p99_ns`, `best_ns`, `samples`) for machine consumption.
 
 #![forbid(unsafe_code)]
 
@@ -59,8 +60,20 @@ impl Bencher {
 struct SampleStats {
     mean_ns: f64,
     stddev_ns: f64,
+    p50_ns: f64,
+    p90_ns: f64,
+    p99_ns: f64,
     best_ns: f64,
     samples: usize,
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample vector:
+/// the smallest sample with at least `q` of the distribution at or
+/// below it (`sorted[ceil(q*n) - 1]`).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    debug_assert!(!sorted.is_empty());
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 fn summarize(sample_ns: &[f64]) -> SampleStats {
@@ -69,6 +82,9 @@ fn summarize(sample_ns: &[f64]) -> SampleStats {
         return SampleStats {
             mean_ns: f64::NAN,
             stddev_ns: f64::NAN,
+            p50_ns: f64::NAN,
+            p90_ns: f64::NAN,
+            p99_ns: f64::NAN,
             best_ns: f64::NAN,
             samples: 0,
         };
@@ -81,11 +97,15 @@ fn summarize(sample_ns: &[f64]) -> SampleStats {
     } else {
         0.0
     };
-    let best = sample_ns.iter().copied().fold(f64::INFINITY, f64::min);
+    let mut sorted = sample_ns.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("times are never NaN"));
     SampleStats {
         mean_ns: mean,
         stddev_ns: stddev,
-        best_ns: best,
+        p50_ns: percentile(&sorted, 0.50),
+        p90_ns: percentile(&sorted, 0.90),
+        p99_ns: percentile(&sorted, 0.99),
+        best_ns: sorted[0],
         samples: n,
     }
 }
@@ -116,8 +136,9 @@ fn emit_json(label: &str, st: &SampleStats) {
         })
         .collect();
     let line = format!(
-        "{{\"name\":\"{escaped}\",\"mean_ns\":{:.1},\"stddev_ns\":{:.1},\"best_ns\":{:.1},\"samples\":{}}}\n",
-        st.mean_ns, st.stddev_ns, st.best_ns, st.samples
+        "{{\"name\":\"{escaped}\",\"mean_ns\":{:.1},\"stddev_ns\":{:.1},\"p50_ns\":{:.1},\
+         \"p90_ns\":{:.1},\"p99_ns\":{:.1},\"best_ns\":{:.1},\"samples\":{}}}\n",
+        st.mean_ns, st.stddev_ns, st.p50_ns, st.p90_ns, st.p99_ns, st.best_ns, st.samples
     );
     use std::io::Write as _;
     let file = std::fs::OpenOptions::new()
@@ -142,9 +163,12 @@ fn run_bench(label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
     f(&mut b);
     let st = summarize(&b.sample_ns);
     println!(
-        "bench {label:<40} {:>10}/iter ± {} (best {}, {} samples)",
+        "bench {label:<40} {:>10}/iter ± {} (p50 {}, p90 {}, p99 {}, best {}, {} samples)",
         fmt_ns(st.mean_ns),
         fmt_ns(st.stddev_ns),
+        fmt_ns(st.p50_ns),
+        fmt_ns(st.p90_ns),
+        fmt_ns(st.p99_ns),
         fmt_ns(st.best_ns),
         st.samples
     );
@@ -283,6 +307,25 @@ mod tests {
         let st = summarize(&[7.5]);
         assert!((st.mean_ns - 7.5).abs() < 1e-9);
         assert_eq!(st.stddev_ns, 0.0);
+        assert_eq!(st.p50_ns, 7.5);
+        assert_eq!(st.p99_ns, 7.5);
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        // 10 samples: p50 is the 5th, p90 the 9th, p99 the 10th.
+        let samples: Vec<f64> = (1..=10).map(f64::from).collect();
+        let st = summarize(&samples);
+        assert_eq!(st.p50_ns, 5.0);
+        assert_eq!(st.p90_ns, 9.0);
+        assert_eq!(st.p99_ns, 10.0);
+        assert_eq!(st.best_ns, 1.0);
+        // Order independence: summarize sorts internally.
+        let mut rev = samples.clone();
+        rev.reverse();
+        let st2 = summarize(&rev);
+        assert_eq!(st2.p50_ns, 5.0);
+        assert_eq!(st2.p90_ns, 9.0);
     }
 
     #[test]
