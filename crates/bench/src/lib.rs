@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod corpus;
 
 use pdgc_core::{AllocStats, CheckMode, CheckScope, ClassStats, PhaseScratch, RegisterAllocator};
 use pdgc_obs::json::JsonObject;

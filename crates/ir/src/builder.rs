@@ -1,7 +1,8 @@
 //! A convenience builder for [`Function`]s.
 
 use crate::{
-    BinOp, Block, BlockData, CalleeId, CmpOp, FuncSig, Function, Inst, Phi, RegClass, VReg,
+    validate_ident, BinOp, Block, BlockData, CalleeId, CmpOp, FuncSig, Function, IdentError, Inst,
+    Phi, RegClass, VReg,
 };
 
 /// Incrementally constructs a [`Function`].
@@ -40,7 +41,33 @@ pub struct FunctionBuilder {
 impl FunctionBuilder {
     /// Starts a new function with the given name and signature and positions
     /// the builder at the freshly created entry block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a valid identifier (see
+    /// [`validate_ident`]): such a name would print fine but could never
+    /// be re-parsed. Use [`try_new`](Self::try_new) for a fallible
+    /// variant.
     pub fn new(name: &str, params: Vec<RegClass>, ret: Option<RegClass>) -> Self {
+        match Self::try_new(name, params, ret) {
+            Ok(b) => b,
+            Err(e) => panic!("FunctionBuilder::new: {e}"),
+        }
+    }
+
+    /// Fallible [`new`](Self::new): returns the typed [`IdentError`]
+    /// instead of panicking when `name` cannot round-trip through the
+    /// textual form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IdentError`] if `name` is not a valid identifier.
+    pub fn try_new(
+        name: &str,
+        params: Vec<RegClass>,
+        ret: Option<RegClass>,
+    ) -> Result<Self, IdentError> {
+        validate_ident(name)?;
         let param_vregs: Vec<VReg> = params.iter().map(|_| VReg::new(0)).collect();
         let mut func = Function {
             name: name.to_string(),
@@ -57,10 +84,10 @@ impl FunctionBuilder {
             let v = func.new_vreg(class);
             func.param_vregs[i] = v;
         }
-        FunctionBuilder {
+        Ok(FunctionBuilder {
             func,
             current: Block::ENTRY,
-        }
+        })
     }
 
     /// The virtual register holding parameter `i`.
@@ -184,11 +211,37 @@ impl FunctionBuilder {
 
     /// Emits a call `ret = callee(args...)`; `ret_class` selects whether a
     /// value is produced and in which class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `callee` is not a valid identifier (see
+    /// [`validate_ident`]); use [`try_call`](Self::try_call) for a
+    /// fallible variant.
     pub fn call(&mut self, callee: &str, args: Vec<VReg>, ret_class: Option<RegClass>) -> Option<VReg> {
+        match self.try_call(callee, args, ret_class) {
+            Ok(ret) => ret,
+            Err(e) => panic!("FunctionBuilder::call: {e}"),
+        }
+    }
+
+    /// Fallible [`call`](Self::call): returns the typed [`IdentError`]
+    /// instead of panicking when `callee` cannot round-trip through the
+    /// textual form.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IdentError`] if `callee` is not a valid identifier.
+    pub fn try_call(
+        &mut self,
+        callee: &str,
+        args: Vec<VReg>,
+        ret_class: Option<RegClass>,
+    ) -> Result<Option<VReg>, IdentError> {
+        validate_ident(callee)?;
         let callee = self.func.intern_callee(callee);
         let ret = ret_class.map(|c| self.func.new_vreg(c));
         self.emit(Inst::Call { callee, args, ret });
-        ret
+        Ok(ret)
     }
 
     /// Emits an unconditional jump, terminating the current block.
@@ -236,7 +289,15 @@ impl FunctionBuilder {
     }
 
     /// Interns a callee name without emitting a call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `name` is not a valid identifier (see
+    /// [`validate_ident`]).
     pub fn intern_callee(&mut self, name: &str) -> CalleeId {
+        if let Err(e) = validate_ident(name) {
+            panic!("FunctionBuilder::intern_callee: {e}");
+        }
         self.func.intern_callee(name)
     }
 
@@ -282,6 +343,38 @@ mod tests {
         assert_eq!(f.class_of(r), RegClass::Float);
         assert_eq!(f.callees, vec!["sin".to_string()]);
         assert!(f.verify().is_ok());
+    }
+
+    #[test]
+    fn bad_function_name_is_a_typed_error() {
+        let e = FunctionBuilder::try_new("two words", vec![], None).unwrap_err();
+        assert_eq!(e.name, "two words");
+        let e = FunctionBuilder::try_new("f(", vec![], None).unwrap_err();
+        assert!(e.to_string().contains("`f(`"));
+        assert!(FunctionBuilder::try_new("ok_name", vec![], None).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid identifier")]
+    fn bad_function_name_panics_in_new() {
+        let _ = FunctionBuilder::new("a//b", vec![], None);
+    }
+
+    #[test]
+    fn bad_callee_name_is_a_typed_error() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        let e = b.try_call("g(", vec![], None).unwrap_err();
+        assert_eq!(e.name, "g(");
+        // The bad name was not interned.
+        b.ret(None);
+        assert!(b.finish().callees.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid identifier")]
+    fn bad_callee_name_panics_in_call() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        b.call("has space", vec![], None);
     }
 
     #[test]

@@ -101,7 +101,15 @@ impl fmt::Display for DisplayInst<'_> {
                 Some(v) => write!(f, "ret {v}"),
                 None => write!(f, "ret"),
             },
-            Inst::Reload { dst, slot } => write!(f, "{dst} = frame[{slot}]"),
+            Inst::Reload { dst, slot } => {
+                // Frame slots are untyped, so a float reload carries an
+                // ascription — the parser has no other class evidence.
+                if self.func.class_of(*dst) == RegClass::Float {
+                    write!(f, "{dst}: float = frame[{slot}]")
+                } else {
+                    write!(f, "{dst} = frame[{slot}]")
+                }
+            }
             Inst::Spill { src, slot } => write!(f, "frame[{slot}] = {src}"),
         }
     }

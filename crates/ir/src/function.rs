@@ -161,6 +161,43 @@ impl Function {
             CalleeId::new(self.callees.len() - 1)
         }
     }
+
+    /// Returns a copy with the callee table renumbered in first-appearance
+    /// order (block index order, instruction order) and unreferenced
+    /// names dropped.
+    ///
+    /// The textual form resolves callee ids to names, so printing is
+    /// unaffected — but the parser can only reconstruct the table in
+    /// appearance order. This helper states the round-trip contract
+    /// exactly: `parse(print(f))` is structurally equal to
+    /// `f.with_canonical_callees()`, and is the identity on functions
+    /// already in canonical form.
+    pub fn with_canonical_callees(&self) -> Function {
+        let mut order: Vec<usize> = Vec::new();
+        for b in &self.blocks {
+            for inst in &b.insts {
+                if let Inst::Call { callee, .. } = inst {
+                    if !order.contains(&callee.index()) {
+                        order.push(callee.index());
+                    }
+                }
+            }
+        }
+        let mut remap = vec![usize::MAX; self.callees.len()];
+        for (new, &old) in order.iter().enumerate() {
+            remap[old] = new;
+        }
+        let mut out = self.clone();
+        out.callees = order.iter().map(|&i| self.callees[i].clone()).collect();
+        for b in &mut out.blocks {
+            for inst in &mut b.insts {
+                if let Inst::Call { callee, .. } = inst {
+                    *callee = CalleeId::new(remap[callee.index()]);
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +227,31 @@ mod tests {
         assert_eq!(a, a2);
         assert_ne!(a, b2);
         assert_eq!(f.callees, vec!["g".to_string(), "h".to_string()]);
+    }
+
+    #[test]
+    fn canonical_callees_follow_appearance_order() {
+        use crate::{Block, Inst};
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        let later = b.create_block();
+        b.switch_to(later);
+        b.call("second_in_text", vec![], None); // interned first
+        b.ret(None);
+        b.switch_to(Block::ENTRY);
+        b.call("first_in_text", vec![], None);
+        b.intern_callee("never_called");
+        b.jump(later);
+        let f = b.finish();
+        assert_eq!(f.callees[0], "second_in_text");
+        let canon = f.with_canonical_callees();
+        assert_eq!(canon.callees, vec!["first_in_text", "second_in_text"]);
+        let entry_call = &canon.block(Block::ENTRY).insts[0];
+        let Inst::Call { callee, .. } = entry_call else {
+            panic!("expected call");
+        };
+        assert_eq!(canon.callees[callee.index()], "first_in_text");
+        // Canonicalizing is idempotent.
+        assert_eq!(canon.with_canonical_callees(), canon);
     }
 
     #[test]

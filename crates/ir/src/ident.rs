@@ -1,0 +1,98 @@
+//! Identifier validation shared by the builder, verifier, and parser.
+//!
+//! Function and callee names appear verbatim in the textual IR form
+//! (`fn NAME(...)`, `call NAME(...)`), so any name the builder accepts
+//! must survive `print → parse`. Names containing `(`, whitespace, or a
+//! comment marker print fine but cannot be re-parsed; this module pins
+//! down the set that can.
+
+use std::fmt;
+
+/// Why a name is not a valid identifier.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct IdentError {
+    /// The offending name.
+    pub name: String,
+    /// What is wrong with it.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for IdentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid identifier `{}`: {}", self.name, self.reason)
+    }
+}
+
+impl std::error::Error for IdentError {}
+
+/// Validates a function or callee name for the textual form.
+///
+/// An identifier is non-empty, starts with an ASCII letter or `_`, and
+/// continues with ASCII letters, digits, `_`, `.`, `$`, or `-`. This is
+/// exactly the set the parser can re-read: no whitespace, no `(`/`)`,
+/// no comment markers (`//`, `;`), no `:`. A leading `-` is excluded so
+/// names can never be confused with negative literals.
+///
+/// # Errors
+///
+/// Returns an [`IdentError`] naming the offending string and the rule
+/// it breaks.
+pub fn validate_ident(name: &str) -> Result<(), IdentError> {
+    let err = |reason| {
+        Err(IdentError {
+            name: name.to_string(),
+            reason,
+        })
+    };
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else {
+        return err("must not be empty");
+    };
+    if !(first.is_ascii_alphabetic() || first == '_') {
+        return err("must start with an ASCII letter or `_`");
+    }
+    for c in chars {
+        if !(c.is_ascii_alphanumeric() || matches!(c, '_' | '.' | '$' | '-')) {
+            return err("may contain only ASCII letters, digits, `_`, `.`, `$`, or `-`");
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_plain_names() {
+        for ok in ["f", "g0", "_start", "sin", "java.lang.Math$abs", "a_b.c", "check-prop_0"] {
+            assert!(validate_ident(ok).is_ok(), "{ok}");
+        }
+    }
+
+    #[test]
+    fn rejects_unparseable_names() {
+        for bad in [
+            "",
+            "f(",
+            "two words",
+            "a//b",
+            "a;b",
+            "9lives",
+            "a:b",
+            "tab\tname",
+            "paren)",
+            "né", // non-ASCII
+        ] {
+            let e = validate_ident(bad).unwrap_err();
+            assert_eq!(e.name, bad);
+            assert!(!e.reason.is_empty());
+        }
+    }
+
+    #[test]
+    fn error_display_names_the_offender() {
+        let e = validate_ident("bad name").unwrap_err();
+        assert!(e.to_string().contains("`bad name`"));
+    }
+}

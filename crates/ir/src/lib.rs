@@ -29,6 +29,7 @@ mod builder;
 mod display;
 mod entities;
 mod function;
+mod ident;
 mod inst;
 mod parse;
 mod phi;
@@ -37,7 +38,8 @@ mod verify;
 pub use builder::FunctionBuilder;
 pub use entities::{Block, RegClass, VReg};
 pub use function::{BlockData, CalleeId, FuncSig, Function};
+pub use ident::{validate_ident, IdentError};
 pub use inst::{BinOp, CmpOp, Inst};
-pub use parse::{parse_function, ParseError};
+pub use parse::{parse_function, parse_functions, ParseError};
 pub use phi::{lower_phis, Phi};
 pub use verify::VerifyError;

@@ -1,14 +1,17 @@
 //! A parser for the textual IR form produced by [`Function`]'s `Display`
 //! implementation.
 //!
-//! The syntax round-trips: `parse_function(&func.to_string())` yields a
-//! function structurally equal to `func`. The grammar, line-oriented:
+//! The syntax round-trips exactly: `parse_function(&func.to_string())`
+//! yields a function structurally equal to `func` (for functions whose
+//! callee table is in first-appearance order — see
+//! [`Function::with_canonical_callees`]), and `print → parse → print`
+//! is a fixpoint. The grammar, line-oriented:
 //!
 //! ```text
 //! fn NAME(v0: int, v1: float) -> int {     // or no "-> class"
 //! b0:
 //!     v2 = 5                                // iconst
-//!     v3 = 1.5f                             // fconst
+//!     v3 = 1.5f                             // fconst (inff, NaNf, -0f ok)
 //!     v4 = [v0+8]                           // int load
 //!     v5 = f64[v0+8]                        // float load
 //!     v6 = byte [v0+0]                      // byte load
@@ -21,7 +24,8 @@
 //!     v11: float = call h()                 // float-returning call
 //!     call k(v4)                            // void call
 //!     v12 = phi [b0: v2], [b1: v8]          // φ (block head)
-//!     v13 = frame[0]                        // reload
+//!     v13 = frame[0]                        // int reload
+//!     v14: float = frame[2]                 ; float reload (ascribed)
 //!     frame[1] = v13                        // spill
 //!     jump b1
 //!     if ne v4, v2 goto b1 else b2
@@ -30,14 +34,23 @@
 //! }
 //! ```
 //!
+//! Comments run from `//` or `;` to end of line (both forms, matching
+//! the machine-code printer's `;` headers). Negative offsets print as
+//! `[v0+-8]` and parse back. `NAME` and callee names are validated
+//! identifiers ([`validate_ident`](crate::validate_ident)), so every
+//! name that builds also re-parses.
+//!
 //! Register classes are inferred: parameters and ascriptions are
-//! explicit, loads/constants/operators are self-evident, and copies/φs
-//! propagate to a fixpoint (an unconstrained copy cycle defaults to
-//! `int`). The result is [`Function::verify`]-checked before being
-//! returned.
+//! explicit, loads/constants/operators are self-evident, `ret` adopts
+//! the signature's return class, and copies/φs propagate to a fixpoint
+//! (an unconstrained copy cycle defaults to `int`). The result is
+//! [`Function::verify`]-checked before being returned.
+//!
+//! A `.pdgc` file may hold several functions back to back;
+//! [`parse_functions`] reads them all.
 
 use crate::{
-    BinOp, Block, BlockData, CmpOp, FuncSig, Function, Inst, Phi, RegClass, VReg,
+    validate_ident, BinOp, Block, BlockData, CmpOp, FuncSig, Function, Inst, Phi, RegClass, VReg,
 };
 use std::collections::HashMap;
 use std::fmt;
@@ -73,18 +86,40 @@ macro_rules! perr {
 /// [`VerifyError`](crate::VerifyError) on the assembled function into a
 /// `ParseError` at line 0.
 pub fn parse_function(text: &str) -> Result<Function, ParseError> {
-    Parser::new(text).parse()
+    let mut p = Parser::new(text);
+    let func = p.parse_one()?;
+    if let Some((ln, _)) = p.next_line() {
+        perr!(ln, "trailing content after closing brace");
+    }
+    Ok(func)
+}
+
+/// Parses one or more functions from a `.pdgc` corpus text, back to
+/// back.
+///
+/// # Errors
+///
+/// As [`parse_function`]; line numbers refer to the whole text.
+pub fn parse_functions(text: &str) -> Result<Vec<Function>, ParseError> {
+    let mut p = Parser::new(text);
+    let mut funcs = vec![p.parse_one()?];
+    while !p.at_end() {
+        funcs.push(p.parse_one()?);
+    }
+    Ok(funcs)
 }
 
 struct Parser<'a> {
     lines: Vec<(usize, &'a str)>,
     pos: usize,
-    /// Highest vreg index referenced.
+    /// Highest vreg index referenced (per function).
     max_vreg: usize,
-    /// Class constraints gathered while parsing.
+    /// Class constraints gathered while parsing (per function).
     known: HashMap<usize, RegClass>,
     /// Same-class constraints (copy/φ edges) for the fixpoint.
     same: Vec<(usize, usize)>,
+    /// The current function's return class (evidence for `ret vN`).
+    ret_class: Option<RegClass>,
 }
 
 impl<'a> Parser<'a> {
@@ -101,7 +136,12 @@ impl<'a> Parser<'a> {
             max_vreg: 0,
             known: HashMap::new(),
             same: Vec::new(),
+            ret_class: None,
         }
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.lines.len()
     }
 
     fn next_line(&mut self) -> Option<(usize, &'a str)> {
@@ -110,7 +150,10 @@ impl<'a> Parser<'a> {
         l
     }
 
-    fn parse(mut self) -> Result<Function, ParseError> {
+    fn parse_one(&mut self) -> Result<Function, ParseError> {
+        self.max_vreg = 0;
+        self.known.clear();
+        self.same.clear();
         let (ln, header) = self
             .next_line()
             .ok_or_else(|| ParseError {
@@ -118,8 +161,8 @@ impl<'a> Parser<'a> {
                 message: "empty input".into(),
             })?;
         let (name, params, ret) = self.parse_header(ln, header)?;
-        for (i, &(v, c)) in params.iter().enumerate() {
-            let _ = i;
+        self.ret_class = ret;
+        for &(v, c) in params.iter() {
             self.note_class(ln, v, c)?;
         }
 
@@ -168,10 +211,6 @@ impl<'a> Parser<'a> {
                 }
             }
         }
-        if let Some((ln, _)) = self.next_line() {
-            perr!(ln, "trailing content after closing brace");
-        }
-
         // Resolve classes to a fixpoint.
         let mut classes = vec![None; self.max_vreg + 1];
         for (&v, &c) in &self.known {
@@ -231,6 +270,9 @@ impl<'a> Parser<'a> {
             perr!(ln, "expected `(` in function header");
         };
         let name = rest[..open].trim().to_string();
+        if let Err(e) = validate_ident(&name) {
+            perr!(ln, "function name: {e}");
+        }
         let Some(close) = rest.find(')') else {
             perr!(ln, "expected `)` in function header");
         };
@@ -317,9 +359,15 @@ impl<'a> Parser<'a> {
                 self.note_class(ln, rhs.index(), RegClass::Int)?;
             }
             Inst::BranchImm { lhs, .. } => self.note_class(ln, lhs.index(), RegClass::Int)?,
+            Inst::Ret { value: Some(v) } => {
+                // The returned value adopts the signature's return class.
+                if let Some(c) = self.ret_class {
+                    self.note_class(ln, v.index(), c)?;
+                }
+            }
             Inst::Call { .. }
             | Inst::Jump { .. }
-            | Inst::Ret { .. }
+            | Inst::Ret { value: None }
             | Inst::Reload { .. }
             | Inst::Spill { .. } => {}
         }
@@ -339,11 +387,16 @@ enum Parsed {
     Phi(Phi),
 }
 
+/// Strips a trailing comment: both `//` (the IR form) and `;` (the
+/// machine-code form) start one.
 fn strip_comment(line: &str) -> &str {
-    match line.find("//") {
-        Some(i) => &line[..i],
-        None => line,
-    }
+    let end = match (line.find("//"), line.find(';')) {
+        (Some(a), Some(b)) => a.min(b),
+        (Some(a), None) => a,
+        (None, Some(b)) => b,
+        (None, None) => return line,
+    };
+    &line[..end]
 }
 
 fn parse_vreg(ln: usize, s: &str) -> Result<usize, ParseError> {
@@ -463,6 +516,9 @@ fn parse_call(
         perr!(ln, "expected `)` in call");
     };
     let name = s[..open].trim();
+    if let Err(e) = validate_ident(name) {
+        perr!(ln, "callee name: {e}");
+    }
     let mut args = Vec::new();
     let alist = &s[open + 1..close];
     if !alist.trim().is_empty() {
@@ -582,6 +638,12 @@ fn parse_line(
     }
 
     // φ.
+    if rhs == "phi" {
+        // Printed by (invalid) empty φs; `Function::verify` rejects them
+        // at build time, and the parser mirrors that with a specific
+        // diagnostic rather than the generic unrecognized-RHS error.
+        perr!(ln, "phi has no arguments");
+    }
     if let Some(p) = rhs.strip_prefix("phi ") {
         let mut args = Vec::new();
         for part in p.split("],") {
@@ -653,10 +715,16 @@ fn parse_line(
             }
         }));
     }
-    // Float constant: `1.5f`.
+    // Float constant: `1.5f` (also `inff`, `NaNf`, `-0f`, `1e300f`).
     if let Some(f) = rhs.strip_suffix('f') {
         if let Ok(v) = f.parse::<f64>() {
             return Ok(Parsed::Inst(Inst::Fconst { dst, value: v }));
+        }
+        // Anything numeric-looking with the `f` suffix was a float
+        // constant attempt; report it as such instead of falling
+        // through to the generic unrecognized-RHS error.
+        if f.starts_with(|c: char| c.is_ascii_digit() || matches!(c, '-' | '+' | '.')) {
+            perr!(ln, "bad float constant `{rhs}`");
         }
     }
     // Integer constant.
@@ -683,6 +751,7 @@ mod tests {
         let parsed = parse_function(&text)
             .unwrap_or_else(|e| panic!("reparse of {} failed: {e}\n{text}", f.name));
         assert_eq!(&parsed, f, "round-trip mismatch for {}\n{text}", f.name);
+        assert_eq!(parsed.to_string(), text, "print-parse-print not a fixpoint");
     }
 
     #[test]
@@ -785,6 +854,118 @@ b0:
         // Branch to an out-of-range block.
         let e = parse_function("fn f() {\nb0:\n    jump b7\n}").unwrap_err();
         assert!(e.message.contains("out-of-range"), "{e}");
+    }
+
+    #[test]
+    fn roundtrip_float_reload_and_negative_offsets() {
+        let mut b = FunctionBuilder::new("fr", vec![RegClass::Int], Some(RegClass::Float));
+        let p = b.param(0);
+        let x = b.fload(p, -8);
+        b.emit(Inst::Spill { src: x, slot: 0 });
+        let r = b.new_vreg(RegClass::Float);
+        b.emit(Inst::Reload { dst: r, slot: 0 });
+        b.store(r, p, -16);
+        b.ret(Some(r));
+        let f = b.finish();
+        assert!(f.to_string().contains("v2: float = frame[0]"));
+        assert!(f.to_string().contains("f64[v0+-16]"));
+        roundtrip(&f);
+    }
+
+    #[test]
+    fn ret_value_adopts_signature_class() {
+        // Without the `ret` evidence the reload-defined web would
+        // default to int and verification would reject the function.
+        let text = "fn f() -> float {\nb0:\n    v0 = frame[0]\n    v1 = v0\n    ret v1\n}";
+        let f = parse_function(text).unwrap();
+        assert_eq!(f.class_of(VReg::new(0)), RegClass::Float);
+        assert_eq!(f.class_of(VReg::new(1)), RegClass::Float);
+        // The printer re-adds the float-reload ascription.
+        assert!(f.to_string().contains("v0: float = frame[0]"));
+        roundtrip(&f);
+    }
+
+    #[test]
+    fn both_comment_forms_are_stripped() {
+        let text = "\
+fn c(v0: int) -> int {  ; machine-style comment
+b0:
+    v1 = add v0, #1     // ir-style comment
+    ; a full-line comment
+    // another
+    ret v1
+}";
+        let f = parse_function(text).unwrap();
+        assert_eq!(f.num_insts(), 2);
+        roundtrip(&f);
+    }
+
+    #[test]
+    fn multi_function_texts_parse() {
+        let a = "fn a() {\nb0:\n    ret\n}";
+        let b = "fn b(v0: int) -> int {\nb0:\n    ret v0\n}";
+        let funcs = parse_functions(&format!("{a}\n\n{b}\n")).unwrap();
+        assert_eq!(funcs.len(), 2);
+        assert_eq!(funcs[0].name, "a");
+        assert_eq!(funcs[1].name, "b");
+        // parse_function still rejects trailing content...
+        let e = parse_function(&format!("{a}\n{b}")).unwrap_err();
+        assert!(e.message.contains("trailing content"), "{e}");
+        // ...and a malformed second function points at the right line.
+        let e = parse_functions(&format!("{a}\nnot a function")).unwrap_err();
+        assert_eq!(e.line, 5);
+    }
+
+    #[test]
+    fn bad_float_constant_is_a_specific_error() {
+        let e = parse_function("fn f() {\nb0:\n    v1 = 1..5f\n    ret\n}").unwrap_err();
+        assert!(e.message.contains("bad float constant"), "{e}");
+        assert_eq!(e.line, 3);
+        let e = parse_function("fn f() {\nb0:\n    v1 = -1-2f\n    ret\n}").unwrap_err();
+        assert!(e.message.contains("bad float constant"), "{e}");
+    }
+
+    #[test]
+    fn nonfinite_float_constants_roundtrip() {
+        let parse_const = |text: &str| {
+            let f = parse_function(&format!("fn f() {{\nb0:\n    v0 = {text}\n    ret\n}}")).unwrap();
+            let Inst::Fconst { value, .. } = f.blocks[0].insts[0] else {
+                panic!("expected fconst from `{text}`");
+            };
+            (value, f.to_string())
+        };
+        let (v, text) = parse_const("inff");
+        assert_eq!(v, f64::INFINITY);
+        assert!(text.contains("v0 = inff"));
+        let (v, text) = parse_const("-inff");
+        assert_eq!(v, f64::NEG_INFINITY);
+        assert!(text.contains("v0 = -inff"));
+        // NaN breaks derived equality, so pin the printed fixpoint.
+        let (v, text) = parse_const("NaNf");
+        assert!(v.is_nan());
+        assert!(text.contains("v0 = NaNf"));
+        assert_eq!(parse_function(&text).unwrap().to_string(), text);
+        // Negative zero keeps its sign bit.
+        let (v, text) = parse_const("-0f");
+        assert_eq!(v, 0.0);
+        assert!(v.is_sign_negative());
+        assert!(text.contains("v0 = -0f"));
+    }
+
+    #[test]
+    fn empty_phi_is_a_specific_error() {
+        let e = parse_function("fn f() {\nb0:\n    v0 = phi\n    ret\n}").unwrap_err();
+        assert!(e.message.contains("phi has no arguments"), "{e}");
+    }
+
+    #[test]
+    fn unparseable_names_are_rejected_with_position() {
+        let e = parse_function("fn two words() {\nb0:\n    ret\n}").unwrap_err();
+        assert!(e.message.contains("function name"), "{e}");
+        assert_eq!(e.line, 1);
+        let e = parse_function("fn f() {\nb0:\n    call 9g(v0)\n    ret\n}").unwrap_err();
+        assert!(e.message.contains("callee name"), "{e}");
+        assert_eq!(e.line, 3);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Structural verification of functions.
 
-use crate::{Function, Inst, RegClass, VReg};
+use crate::{validate_ident, Function, Inst, RegClass, VReg};
 use std::fmt;
 
 /// An invariant violation found by [`Function::verify`].
@@ -33,14 +33,25 @@ impl Function {
     /// * all `VReg` references in range, with classes consistent with their
     ///   instruction positions (e.g. `Load` base is integer, float `Bin`
     ///   operands are float);
-    /// * φ arguments cover exactly the block's predecessors;
+    /// * every φ has at least one argument, and the arguments cover
+    ///   exactly the block's predecessors;
     /// * parameter registers match the signature;
-    /// * `Ret` presence/absence of a value matches the signature.
+    /// * `Ret` presence/absence of a value matches the signature;
+    /// * the function name and every callee name are valid identifiers
+    ///   (so the textual form can round-trip).
     ///
     /// # Errors
     ///
     /// Returns the first violation found.
     pub fn verify(&self) -> Result<(), VerifyError> {
+        if let Err(e) = validate_ident(&self.name) {
+            fail!("function name: {e}");
+        }
+        for callee in &self.callees {
+            if let Err(e) = validate_ident(callee) {
+                fail!("callee name: {e}");
+            }
+        }
         if self.blocks.is_empty() {
             fail!("function {} has no blocks", self.name);
         }
@@ -82,6 +93,11 @@ impl Function {
         for b in self.block_ids() {
             for phi in &self.block(b).phis {
                 self.check_vreg(phi.dst)?;
+                if phi.args.is_empty() {
+                    // An empty φ would print as `vN = phi`, which the
+                    // parser (rightly) refuses to read back.
+                    fail!("phi {} in {b} has no arguments", phi.dst);
+                }
                 let mut seen: Vec<usize> = Vec::new();
                 for &(pred, v) in &phi.args {
                     self.check_vreg(v)?;
@@ -286,6 +302,36 @@ mod tests {
             args: vec![(l, p)],
         });
         assert!(f.verify().is_err());
+    }
+
+    #[test]
+    fn empty_phi_rejected() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        b.ret(None);
+        let mut f = b.finish();
+        let d = f.new_vreg(RegClass::Int);
+        // An empty φ in the entry block (zero predecessors) used to slip
+        // past the predecessor-coverage check.
+        f.block_mut(Block::ENTRY).phis.push(Phi {
+            dst: d,
+            args: vec![],
+        });
+        let e = f.verify().unwrap_err();
+        assert!(e.message.contains("no arguments"), "{e}");
+    }
+
+    #[test]
+    fn unparseable_names_rejected() {
+        let mut b = FunctionBuilder::new("f", vec![], None);
+        b.ret(None);
+        let mut f = b.finish();
+        f.name = "two words".into();
+        let e = f.verify().unwrap_err();
+        assert!(e.message.contains("function name"), "{e}");
+        f.name = "f".into();
+        f.callees.push("g(".into());
+        let e = f.verify().unwrap_err();
+        assert!(e.message.contains("callee name"), "{e}");
     }
 
     #[test]

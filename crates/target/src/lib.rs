@@ -51,6 +51,7 @@ mod builder;
 mod desc;
 mod error;
 mod mach;
+mod mparse;
 mod pressure;
 mod registry;
 mod reg;
@@ -59,6 +60,7 @@ pub use builder::{ClassSpec, TargetBuilder, MAX_REGS};
 pub use desc::{ClassDesc, TargetDesc};
 pub use error::TargetError;
 pub use mach::{MInst, MachFunction};
+pub use mparse::{parse_mach_function, MachParseError};
 pub use pressure::{PairRule, PairedLoadRule, PressureModel};
 pub use reg::PhysReg;
 pub use registry::TargetRegistry;

@@ -1,0 +1,764 @@
+//! A parser for the textual machine-code form produced by
+//! [`MachFunction`]'s `Display` implementation — dual to it, so
+//! post-allocation golden files and corpus round-trip checks are
+//! possible.
+//!
+//! The grammar, line-oriented:
+//!
+//! ```text
+//! fn NAME(int, float) -> int {   ; or no "-> class"
+//!     ; frame: 2 slots           ; structure, not a comment
+//!     ; saves: r9 f8             ; structure, not a comment
+//! b0:
+//!     r1 = r0                    ; copy
+//!     r2 = 5                     ; iconst
+//!     f0 = 1.5f                  ; fconst (inff, NaNf, -0f ok)
+//!     r3 = [r0+8]                ; load (negative offsets: [r0+-8])
+//!     r4 = byte [r0+0]           ; byte load
+//!     r5, r6 = pair [r0+0], [r0+8]
+//!     [r0+16] = r3               ; store
+//!     r7 = add r3, r2            ; bin
+//!     r7 = add r3, #3            ; bin with immediate
+//!     r0 = call g(r0, f0)        ; result register optional
+//!     r1 = frame[0]              ; spill reload
+//!     frame[1] = r1              ; spill store
+//!     goto b1
+//!     if ne r1, r2 goto b1 else b2
+//!     if ne r1, #0 goto b1 else b2
+//!     ret
+//! b1:
+//! b2:
+//!     ret
+//! }
+//! ```
+//!
+//! Registers are written `rN` (integer class) and `fN` (float class), so
+//! the form is self-classifying and no inference is needed. The
+//! `; frame:` and `; saves:` header lines are parsed as structure when
+//! they appear before the first block label; everywhere else both `;`
+//! and `//` start a comment (matching the IR parser). Callee names are
+//! interned in order of appearance, which makes
+//! `parse_mach_function(&m.to_string())` print back byte-identically
+//! and re-parse to a structurally equal function.
+
+use crate::{MInst, MachFunction, PhysReg};
+use pdgc_ir::{validate_ident, BinOp, Block, CalleeId, CmpOp, FuncSig, RegClass};
+use std::fmt;
+
+/// A machine-code parse failure, with a 1-based line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct MachParseError {
+    /// Line the error was found on (1-based; 0 = whole input).
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for MachParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mach parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for MachParseError {}
+
+macro_rules! merr {
+    ($line:expr, $($arg:tt)*) => {
+        return Err(MachParseError { line: $line, message: format!($($arg)*) })
+    };
+}
+
+/// Strips a trailing comment (both `;` and `//` forms).
+fn strip_comment(line: &str) -> &str {
+    let end = match (line.find("//"), line.find(';')) {
+        (Some(a), Some(b)) => a.min(b),
+        (Some(a), None) => a,
+        (None, Some(b)) => b,
+        (None, None) => return line,
+    };
+    &line[..end]
+}
+
+/// Parses the textual form of one allocated function.
+///
+/// # Errors
+///
+/// Returns a [`MachParseError`] on malformed syntax or out-of-range
+/// block references.
+pub fn parse_mach_function(text: &str) -> Result<MachFunction, MachParseError> {
+    let mut mach = MachFunction {
+        name: String::new(),
+        sig: FuncSig::default(),
+        blocks: Vec::new(),
+        num_slots: 0,
+        used_nonvolatiles: Vec::new(),
+        callees: Vec::new(),
+    };
+    let mut saw_header = false;
+    let mut saw_frame = false;
+    let mut saw_saves = false;
+    let mut closed_at: Option<usize> = None;
+    let mut in_block = false;
+
+    for (ln, raw) in text.lines().enumerate().map(|(i, l)| (i + 1, l)) {
+        let trimmed = raw.trim();
+        if let Some(end) = closed_at {
+            if !strip_comment(trimmed).trim().is_empty() {
+                merr!(ln, "trailing content after closing brace (line {end})");
+            }
+            continue;
+        }
+        // The `; frame:` / `; saves:` lines between the header and the
+        // first block label are structure; elsewhere `;` starts a
+        // comment.
+        if saw_header && !in_block {
+            if let Some(rest) = trimmed.strip_prefix("; frame:") {
+                if saw_frame {
+                    merr!(ln, "duplicate `; frame:` header");
+                }
+                saw_frame = true;
+                let n = rest.trim().strip_suffix("slots").map(str::trim);
+                mach.num_slots = n
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| MachParseError {
+                        line: ln,
+                        message: format!("expected `; frame: N slots`, got `{trimmed}`"),
+                    })?;
+                continue;
+            }
+            if let Some(rest) = trimmed.strip_prefix("; saves:") {
+                if saw_saves {
+                    merr!(ln, "duplicate `; saves:` header");
+                }
+                saw_saves = true;
+                for r in rest.split_whitespace() {
+                    mach.used_nonvolatiles.push(parse_reg(ln, r)?);
+                }
+                continue;
+            }
+        }
+        let line = strip_comment(trimmed).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if !saw_header {
+            let (name, sig) = parse_header(ln, line)?;
+            mach.name = name;
+            mach.sig = sig;
+            saw_header = true;
+            continue;
+        }
+        if line == "}" {
+            closed_at = Some(ln);
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            let idx = parse_block(ln, label)?;
+            if idx.index() != mach.blocks.len() {
+                merr!(ln, "blocks must be declared in order; expected b{}", mach.blocks.len());
+            }
+            mach.blocks.push(Vec::new());
+            in_block = true;
+            continue;
+        }
+        if !in_block {
+            merr!(ln, "instruction before any block label");
+        }
+        let inst = parse_line(ln, line, &mut mach.callees)?;
+        mach.blocks.last_mut().unwrap().push(inst);
+    }
+
+    if !saw_header {
+        merr!(0, "empty input");
+    }
+    if closed_at.is_none() {
+        merr!(0, "missing closing brace");
+    }
+    if mach.blocks.is_empty() {
+        merr!(0, "function has no blocks");
+    }
+    // Post-pass: every block reference must be in range.
+    for (b, insts) in mach.blocks.iter().enumerate() {
+        for inst in insts {
+            let targets = match inst {
+                MInst::Jump { target } => vec![*target],
+                MInst::Branch {
+                    then_dst, else_dst, ..
+                }
+                | MInst::BranchImm {
+                    then_dst, else_dst, ..
+                } => vec![*then_dst, *else_dst],
+                _ => Vec::new(),
+            };
+            for t in targets {
+                if t.index() >= mach.blocks.len() {
+                    merr!(0, "block b{b} branches to out-of-range {t}");
+                }
+            }
+        }
+    }
+    Ok(mach)
+}
+
+fn parse_header(ln: usize, line: &str) -> Result<(String, FuncSig), MachParseError> {
+    let Some(rest) = line.strip_prefix("fn ") else {
+        merr!(ln, "expected `fn NAME(...)`");
+    };
+    let Some(open) = rest.find('(') else {
+        merr!(ln, "expected `(` in function header");
+    };
+    let name = rest[..open].trim().to_string();
+    if let Err(e) = validate_ident(&name) {
+        merr!(ln, "function name: {e}");
+    }
+    let Some(close) = rest.find(')') else {
+        merr!(ln, "expected `)` in function header");
+    };
+    let mut params = Vec::new();
+    let plist = &rest[open + 1..close];
+    if !plist.trim().is_empty() {
+        for part in plist.split(',') {
+            params.push(parse_class(ln, part.trim())?);
+        }
+    }
+    let tail = rest[close + 1..].trim();
+    let ret = if let Some(r) = tail.strip_prefix("->") {
+        let r = r.trim().trim_end_matches('{').trim();
+        Some(parse_class(ln, r)?)
+    } else if tail == "{" {
+        None
+    } else {
+        merr!(ln, "expected `{{` or `-> class {{` after parameters");
+    };
+    Ok((name, FuncSig { params, ret }))
+}
+
+fn parse_class(ln: usize, s: &str) -> Result<RegClass, MachParseError> {
+    match s {
+        "int" => Ok(RegClass::Int),
+        "float" => Ok(RegClass::Float),
+        other => merr!(ln, "unknown register class `{other}`"),
+    }
+}
+
+fn parse_reg(ln: usize, s: &str) -> Result<PhysReg, MachParseError> {
+    let (class, digits) = if let Some(d) = s.strip_prefix('r') {
+        (RegClass::Int, d)
+    } else if let Some(d) = s.strip_prefix('f') {
+        (RegClass::Float, d)
+    } else {
+        merr!(ln, "expected a register (`rN` or `fN`), got `{s}`");
+    };
+    let idx: u8 = digits.parse().map_err(|_| MachParseError {
+        line: ln,
+        message: format!("bad register `{s}`"),
+    })?;
+    Ok(PhysReg::new(class, idx))
+}
+
+fn parse_block(ln: usize, s: &str) -> Result<Block, MachParseError> {
+    let Some(n) = s.strip_prefix('b') else {
+        merr!(ln, "expected a block label, got `{s}`");
+    };
+    let i: usize = n.parse().map_err(|_| MachParseError {
+        line: ln,
+        message: format!("bad block `{s}`"),
+    })?;
+    Ok(Block::new(i))
+}
+
+fn parse_imm(ln: usize, s: &str) -> Result<i64, MachParseError> {
+    let s = s.strip_prefix('#').unwrap_or(s);
+    s.parse().map_err(|_| MachParseError {
+        line: ln,
+        message: format!("bad immediate `{s}`"),
+    })
+}
+
+/// Parses a `[base+offset]` address (negative offsets spell `+-8`).
+fn parse_addr(ln: usize, s: &str) -> Result<(PhysReg, i32), MachParseError> {
+    let inner = s
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| MachParseError {
+            line: ln,
+            message: format!("expected `[base+offset]`, got `{s}`"),
+        })?;
+    let (b, o) = inner.split_once('+').ok_or_else(|| MachParseError {
+        line: ln,
+        message: format!("expected `base+offset` in `{s}`"),
+    })?;
+    let off: i32 = o.parse().map_err(|_| MachParseError {
+        line: ln,
+        message: format!("bad offset `{o}`"),
+    })?;
+    Ok((parse_reg(ln, b.trim())?, off))
+}
+
+fn parse_cmp(ln: usize, s: &str) -> Result<CmpOp, MachParseError> {
+    match s {
+        "eq" => Ok(CmpOp::Eq),
+        "ne" => Ok(CmpOp::Ne),
+        "lt" => Ok(CmpOp::Lt),
+        "le" => Ok(CmpOp::Le),
+        "gt" => Ok(CmpOp::Gt),
+        "ge" => Ok(CmpOp::Ge),
+        other => merr!(ln, "unknown comparison `{other}`"),
+    }
+}
+
+fn parse_binop(s: &str) -> Option<BinOp> {
+    Some(match s {
+        "add" => BinOp::Add,
+        "sub" => BinOp::Sub,
+        "mul" => BinOp::Mul,
+        "div" => BinOp::Div,
+        "and" => BinOp::And,
+        "or" => BinOp::Or,
+        "xor" => BinOp::Xor,
+        "shl" => BinOp::Shl,
+        "shr" => BinOp::Shr,
+        "fadd" => BinOp::FAdd,
+        "fsub" => BinOp::FSub,
+        "fmul" => BinOp::FMul,
+        "fdiv" => BinOp::FDiv,
+        _ => return None,
+    })
+}
+
+fn intern(callees: &mut Vec<String>, name: &str) -> CalleeId {
+    if let Some(i) = callees.iter().position(|c| c == name) {
+        CalleeId::new(i)
+    } else {
+        callees.push(name.to_string());
+        CalleeId::new(callees.len() - 1)
+    }
+}
+
+/// Parses a call tail: `NAME(reg, ...)`.
+fn parse_call(
+    ln: usize,
+    s: &str,
+    callees: &mut Vec<String>,
+    ret_reg: Option<PhysReg>,
+) -> Result<MInst, MachParseError> {
+    let Some(open) = s.find('(') else {
+        merr!(ln, "expected `(` in call");
+    };
+    let Some(close) = s.rfind(')') else {
+        merr!(ln, "expected `)` in call");
+    };
+    let name = s[..open].trim();
+    if let Err(e) = validate_ident(name) {
+        merr!(ln, "callee name: {e}");
+    }
+    let mut arg_regs = Vec::new();
+    let alist = &s[open + 1..close];
+    if !alist.trim().is_empty() {
+        for a in alist.split(',') {
+            arg_regs.push(parse_reg(ln, a.trim())?);
+        }
+    }
+    Ok(MInst::Call {
+        callee: intern(callees, name),
+        arg_regs,
+        ret_reg,
+    })
+}
+
+fn parse_line(ln: usize, line: &str, callees: &mut Vec<String>) -> Result<MInst, MachParseError> {
+    // Control flow.
+    if let Some(t) = line.strip_prefix("goto ") {
+        return Ok(MInst::Jump {
+            target: parse_block(ln, t.trim())?,
+        });
+    }
+    if line == "ret" {
+        return Ok(MInst::Ret);
+    }
+    if let Some(rest) = line.strip_prefix("if ") {
+        let Some((cond, targets)) = rest.split_once(" goto ") else {
+            merr!(ln, "expected `goto` in branch");
+        };
+        let Some((then_s, else_s)) = targets.split_once(" else ") else {
+            merr!(ln, "expected `else` in branch");
+        };
+        let mut it = cond.splitn(2, ' ');
+        let op = parse_cmp(ln, it.next().unwrap_or(""))?;
+        let operands = it.next().unwrap_or("");
+        let Some((lhs_s, rhs_s)) = operands.split_once(',') else {
+            merr!(ln, "expected two branch operands");
+        };
+        let lhs = parse_reg(ln, lhs_s.trim())?;
+        let rhs_s = rhs_s.trim();
+        let then_dst = parse_block(ln, then_s.trim())?;
+        let else_dst = parse_block(ln, else_s.trim())?;
+        return Ok(if let Some(imm) = rhs_s.strip_prefix('#') {
+            MInst::BranchImm {
+                op,
+                lhs,
+                imm: parse_imm(ln, imm)?,
+                then_dst,
+                else_dst,
+            }
+        } else {
+            MInst::Branch {
+                op,
+                lhs,
+                rhs: parse_reg(ln, rhs_s)?,
+                then_dst,
+                else_dst,
+            }
+        });
+    }
+    // Void call.
+    if let Some(c) = line.strip_prefix("call ") {
+        return parse_call(ln, c, callees, None);
+    }
+    // Stores: `[base+off] = reg`, `frame[slot] = reg`.
+    if line.starts_with('[') || line.starts_with("frame[") {
+        let Some((addr_s, src_s)) = line.split_once('=') else {
+            merr!(ln, "expected `=` in store");
+        };
+        let (addr_s, src_s) = (addr_s.trim(), src_s.trim());
+        let src = parse_reg(ln, src_s)?;
+        if let Some(slot_s) = addr_s.strip_prefix("frame[") {
+            let slot: u32 = slot_s
+                .strip_suffix(']')
+                .and_then(|x| x.parse().ok())
+                .ok_or_else(|| MachParseError {
+                    line: ln,
+                    message: format!("bad frame slot in `{addr_s}`"),
+                })?;
+            return Ok(MInst::SpillStore { src, slot });
+        }
+        let (base, offset) = parse_addr(ln, addr_s)?;
+        return Ok(MInst::Store { src, base, offset });
+    }
+
+    // Everything else defines registers: `REG[, REG] = RHS`.
+    let Some((lhs_s, rhs_s)) = line.split_once('=') else {
+        merr!(ln, "unrecognized instruction `{line}`");
+    };
+    let (lhs_s, rhs) = (lhs_s.trim(), rhs_s.trim());
+
+    // Paired load: `r1, r2 = pair [r0+0], [r0+8]`.
+    if let Some((d1, d2)) = lhs_s.split_once(',') {
+        let Some(addrs) = rhs.strip_prefix("pair ") else {
+            merr!(ln, "two destinations require a `pair` load");
+        };
+        let dst1 = parse_reg(ln, d1.trim())?;
+        let dst2 = parse_reg(ln, d2.trim())?;
+        let Some((a1, a2)) = addrs.split_once("], ") else {
+            merr!(ln, "expected two addresses in `pair`");
+        };
+        let (base, offset) = parse_addr(ln, &format!("{}]", a1.trim()))?;
+        let (base2, offset2) = parse_addr(ln, a2.trim())?;
+        if base2 != base {
+            merr!(ln, "paired load reads from two different bases");
+        }
+        return Ok(MInst::LoadPair {
+            dst1,
+            dst2,
+            base,
+            offset,
+            offset2,
+        });
+    }
+
+    let dst = parse_reg(ln, lhs_s)?;
+    // Call with result.
+    if let Some(c) = rhs.strip_prefix("call ") {
+        return parse_call(ln, c, callees, Some(dst));
+    }
+    // Spill reload.
+    if let Some(slot_s) = rhs.strip_prefix("frame[") {
+        let slot: u32 = slot_s
+            .strip_suffix(']')
+            .and_then(|x| x.parse().ok())
+            .ok_or_else(|| MachParseError {
+                line: ln,
+                message: format!("bad frame slot in `{rhs}`"),
+            })?;
+        return Ok(MInst::SpillLoad { dst, slot });
+    }
+    // Byte load.
+    if let Some(a) = rhs.strip_prefix("byte ") {
+        let (base, offset) = parse_addr(ln, a.trim())?;
+        return Ok(MInst::Load8 { dst, base, offset });
+    }
+    // Word load.
+    if rhs.starts_with('[') {
+        let (base, offset) = parse_addr(ln, rhs)?;
+        return Ok(MInst::Load { dst, base, offset });
+    }
+    // Binary op.
+    let mut it = rhs.splitn(2, ' ');
+    let head = it.next().unwrap_or("");
+    if let Some(op) = parse_binop(head) {
+        let operands = it.next().unwrap_or("");
+        let Some((a, b)) = operands.split_once(',') else {
+            merr!(ln, "expected two operands for `{head}`");
+        };
+        let lhs = parse_reg(ln, a.trim())?;
+        let b = b.trim();
+        return Ok(if let Some(imm) = b.strip_prefix('#') {
+            MInst::BinImm {
+                op,
+                dst,
+                lhs,
+                imm: parse_imm(ln, imm)?,
+            }
+        } else {
+            MInst::Bin {
+                op,
+                dst,
+                lhs,
+                rhs: parse_reg(ln, b)?,
+            }
+        });
+    }
+    // Float constant: `1.5f` (also `inff`, `NaNf`, `-0f`). Register
+    // names (`f3`) never end in `f`, so the suffix is unambiguous.
+    if let Some(f) = rhs.strip_suffix('f') {
+        if let Ok(v) = f.parse::<f64>() {
+            return Ok(MInst::Fconst { dst, value: v });
+        }
+        if f.starts_with(|c: char| c.is_ascii_digit() || matches!(c, '-' | '+' | '.')) {
+            merr!(ln, "bad float constant `{rhs}`");
+        }
+    }
+    // Integer constant.
+    if let Ok(v) = rhs.parse::<i64>() {
+        return Ok(MInst::Iconst { dst, value: v });
+    }
+    // Copy.
+    if (rhs.starts_with('r') || rhs.starts_with('f')) && !rhs.contains(' ') {
+        return Ok(MInst::Copy {
+            dst,
+            src: parse_reg(ln, rhs)?,
+        });
+    }
+    merr!(ln, "unrecognized right-hand side `{rhs}`")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(m: &MachFunction) {
+        let text = m.to_string();
+        let parsed = parse_mach_function(&text)
+            .unwrap_or_else(|e| panic!("reparse of {} failed: {e}\n{text}", m.name));
+        assert_eq!(&parsed, m, "round-trip mismatch for {}\n{text}", m.name);
+        assert_eq!(parsed.to_string(), text, "print-parse-print not a fixpoint");
+    }
+
+    fn sample() -> MachFunction {
+        MachFunction {
+            name: "f".into(),
+            sig: FuncSig {
+                params: vec![RegClass::Int, RegClass::Float],
+                ret: Some(RegClass::Int),
+            },
+            blocks: vec![
+                vec![
+                    MInst::LoadPair {
+                        dst1: PhysReg::int(1),
+                        dst2: PhysReg::int(2),
+                        base: PhysReg::int(0),
+                        offset: -8,
+                        offset2: 0,
+                    },
+                    MInst::Copy {
+                        dst: PhysReg::float(1),
+                        src: PhysReg::float(0),
+                    },
+                    MInst::Fconst {
+                        dst: PhysReg::float(2),
+                        value: 0.5,
+                    },
+                    MInst::Bin {
+                        op: BinOp::FMul,
+                        dst: PhysReg::float(1),
+                        lhs: PhysReg::float(1),
+                        rhs: PhysReg::float(2),
+                    },
+                    MInst::Iconst {
+                        dst: PhysReg::int(3),
+                        value: -7,
+                    },
+                    MInst::BinImm {
+                        op: BinOp::Shl,
+                        dst: PhysReg::int(3),
+                        lhs: PhysReg::int(3),
+                        imm: 2,
+                    },
+                    MInst::Load8 {
+                        dst: PhysReg::int(4),
+                        base: PhysReg::int(0),
+                        offset: 3,
+                    },
+                    MInst::Store {
+                        src: PhysReg::int(4),
+                        base: PhysReg::int(0),
+                        offset: 16,
+                    },
+                    MInst::SpillStore {
+                        src: PhysReg::int(1),
+                        slot: 0,
+                    },
+                    MInst::Call {
+                        callee: CalleeId::new(0),
+                        arg_regs: vec![PhysReg::int(1), PhysReg::float(1)],
+                        ret_reg: Some(PhysReg::int(0)),
+                    },
+                    MInst::SpillLoad {
+                        dst: PhysReg::int(1),
+                        slot: 0,
+                    },
+                    MInst::BranchImm {
+                        op: CmpOp::Ne,
+                        lhs: PhysReg::int(1),
+                        imm: 0,
+                        then_dst: Block::new(1),
+                        else_dst: Block::new(2),
+                    },
+                ],
+                vec![
+                    MInst::Load {
+                        dst: PhysReg::int(0),
+                        base: PhysReg::int(1),
+                        offset: 0,
+                    },
+                    MInst::Branch {
+                        op: CmpOp::Lt,
+                        lhs: PhysReg::int(0),
+                        rhs: PhysReg::int(3),
+                        then_dst: Block::new(1),
+                        else_dst: Block::new(2),
+                    },
+                ],
+                vec![
+                    MInst::Call {
+                        callee: CalleeId::new(1),
+                        arg_regs: vec![],
+                        ret_reg: None,
+                    },
+                    MInst::Jump {
+                        target: Block::new(3),
+                    },
+                ],
+                vec![MInst::Ret],
+            ],
+            num_slots: 1,
+            used_nonvolatiles: vec![PhysReg::int(2), PhysReg::float(1)],
+            callees: vec!["g".into(), "log".into()],
+        }
+    }
+
+    #[test]
+    fn roundtrip_every_minst_variant() {
+        roundtrip(&sample());
+    }
+
+    #[test]
+    fn roundtrip_minimal_function() {
+        let m = MachFunction {
+            name: "nop".into(),
+            sig: FuncSig::default(),
+            blocks: vec![vec![MInst::Ret]],
+            num_slots: 0,
+            used_nonvolatiles: vec![],
+            callees: vec![],
+        };
+        let text = m.to_string();
+        assert!(!text.contains("frame:"));
+        assert!(!text.contains("saves:"));
+        roundtrip(&m);
+    }
+
+    #[test]
+    fn frame_and_saves_parse_as_structure() {
+        let m = parse_mach_function(
+            "fn f() {\n    ; frame: 3 slots\n    ; saves: r9 f8\nb0:\n    ret\n}",
+        )
+        .unwrap();
+        assert_eq!(m.num_slots, 3);
+        assert_eq!(m.used_nonvolatiles, vec![PhysReg::int(9), PhysReg::float(8)]);
+    }
+
+    #[test]
+    fn comments_are_stripped_in_both_forms() {
+        let m = parse_mach_function(
+            "fn f() { // header comment\nb0:\n    r0 = 1 ; trailing\n    // full line\n    ; also full line\n    ret\n}",
+        )
+        .unwrap();
+        assert_eq!(m.blocks[0].len(), 2);
+    }
+
+    #[test]
+    fn nonfinite_float_constants_roundtrip() {
+        for (text, check) in [
+            ("inff", f64::is_infinite as fn(f64) -> bool),
+            ("NaNf", f64::is_nan),
+            ("-0f", f64::is_sign_negative),
+        ] {
+            let src = format!("fn f() {{\nb0:\n    f0 = {text}\n    ret\n}}");
+            let m = parse_mach_function(&src).unwrap();
+            let MInst::Fconst { value, .. } = m.blocks[0][0] else {
+                panic!("expected fconst from `{text}`");
+            };
+            assert!(check(value), "{text}");
+            // The printed fixpoint (NaN breaks derived equality).
+            let printed = m.to_string();
+            assert!(printed.contains(&format!("f0 = {text}")));
+            assert_eq!(parse_mach_function(&printed).unwrap().to_string(), printed);
+        }
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_mach_function("fn f() {\nb0:\n    r0 = bogus r1\n}").unwrap_err();
+        assert_eq!(e.line, 3);
+        let e = parse_mach_function("not machine code").unwrap_err();
+        assert!(e.message.contains("fn"));
+        let e = parse_mach_function("fn f() {\nb0:\n    ret\n").unwrap_err();
+        assert!(e.message.contains("closing brace"));
+        let e = parse_mach_function("fn f() {\nb0:\n    ret\n}\nfn g() {\n}").unwrap_err();
+        assert!(e.message.contains("trailing content"));
+        let e = parse_mach_function("fn f() {\nb0:\n    f0 = 1..5f\n    ret\n}").unwrap_err();
+        assert!(e.message.contains("bad float constant"), "{e}");
+    }
+
+    #[test]
+    fn structural_errors_are_rejected() {
+        // Out-of-range branch target.
+        let e = parse_mach_function("fn f() {\nb0:\n    goto b7\n}").unwrap_err();
+        assert!(e.message.contains("out-of-range"), "{e}");
+        // Blocks out of order.
+        let e = parse_mach_function("fn f() {\nb1:\n    ret\n}").unwrap_err();
+        assert!(e.message.contains("in order"), "{e}");
+        // Mismatched pair bases.
+        let e = parse_mach_function(
+            "fn f() {\nb0:\n    r1, r2 = pair [r0+0], [r3+8]\n    ret\n}",
+        )
+        .unwrap_err();
+        assert!(e.message.contains("different bases"), "{e}");
+        // Instruction before any label.
+        let e = parse_mach_function("fn f() {\n    r0 = 1\nb0:\n    ret\n}").unwrap_err();
+        assert!(e.message.contains("before any block"), "{e}");
+        // Bad callee name.
+        let e = parse_mach_function("fn f() {\nb0:\n    call 9g()\n    ret\n}").unwrap_err();
+        assert!(e.message.contains("callee name"), "{e}");
+    }
+
+    #[test]
+    fn callees_intern_in_appearance_order() {
+        let m = parse_mach_function(
+            "fn f() {\nb0:\n    call b_second()\n    call a_first()\n    call b_second()\n    ret\n}",
+        )
+        .unwrap();
+        assert_eq!(m.callees, vec!["b_second".to_string(), "a_first".to_string()]);
+    }
+}

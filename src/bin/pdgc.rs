@@ -25,6 +25,8 @@ USAGE:
     pdgc run <FILE> [--allocator NAME] [--target NAME] [--args N,N,...] [--check[=MODE]] [TRACING]
     pdgc demo [--check[=MODE]] [TRACING]
     pdgc bench batch [--jobs N] [--allocator NAME] [--target NAME] [--check[=MODE]]
+    pdgc corpus <DIR> [--allocator NAME] [--target NAME] [--check[=MODE]]
+                      [--baseline FILE] [--write-baseline]
     pdgc report --baseline FILE --current FILE
     pdgc --help
 
@@ -64,6 +66,16 @@ BENCH:
     prints throughput, and writes results/bench_batch.json and
     results/metrics.json (the always-on counter/histogram snapshot).
 
+CORPUS:
+    `corpus` runs every function in the `.pdgc` files under DIR through
+    every allocator (or just --allocator NAME): parse, verify, allocate,
+    optionally prove with the symbolic checker, and certify the exact
+    text round-trip at both levels (IR and rewritten machine code).
+    Results are compared exactly against DIR/baseline.json (or
+    --baseline FILE): any changed spill/copy/pair count or code
+    fingerprint exits non-zero naming the function. --write-baseline
+    regenerates the baseline instead of comparing.
+
 REPORT:
     `report` diffs two metrics.json snapshots (e.g. a committed baseline
     vs a fresh bench run) against per-metric regression thresholds:
@@ -101,30 +113,39 @@ fn pick_target(name: &str) -> Result<TargetDesc, String> {
 struct Options {
     file: Option<String>,
     allocator: String,
+    /// Whether --allocator was given explicitly (`corpus` defaults to
+    /// every allocator when it was not).
+    allocator_given: bool,
     target: String,
     args: Vec<u64>,
     trace: Option<String>,
     dump_graphs: Option<String>,
     jobs: Option<usize>,
     check: CheckMode,
+    baseline: Option<String>,
+    write_baseline: bool,
 }
 
 fn parse_options(argv: &[String]) -> Result<Options, String> {
     let mut o = Options {
         file: None,
         allocator: "full".into(),
+        allocator_given: false,
         target: "ia64-24".into(),
         args: Vec::new(),
         trace: None,
         dump_graphs: None,
         jobs: None,
         check: CheckMode::Off,
+        baseline: None,
+        write_baseline: false,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--allocator" => {
                 o.allocator = it.next().ok_or("--allocator needs a value")?.clone();
+                o.allocator_given = true;
             }
             "--target" => {
                 o.target = it.next().ok_or("--target needs a value")?.clone();
@@ -150,6 +171,12 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
             "--check" => {
                 o.check = CheckMode::Always;
             }
+            "--baseline" => {
+                o.baseline = Some(it.next().ok_or("--baseline needs a value")?.clone());
+            }
+            "--write-baseline" => {
+                o.write_baseline = true;
+            }
             other => {
                 // Also accept the --flag=value spelling.
                 if let Some(v) = other.strip_prefix("--trace=") {
@@ -161,6 +188,13 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
                 } else if let Some(v) = other.strip_prefix("--check=") {
                     o.check = CheckMode::parse(v)
                         .ok_or_else(|| format!("bad check mode `{v}` (off, debug, always)"))?;
+                } else if let Some(v) = other.strip_prefix("--baseline=") {
+                    o.baseline = Some(v.to_string());
+                } else if let Some(v) = other.strip_prefix("--allocator=") {
+                    o.allocator = v.to_string();
+                    o.allocator_given = true;
+                } else if let Some(v) = other.strip_prefix("--target=") {
+                    o.target = v.to_string();
                 } else if other.starts_with("--") {
                     return Err(format!("unknown flag {other}"));
                 } else if o.file.replace(other.to_string()).is_some() {
@@ -353,6 +387,101 @@ fn cmd_bench_batch(o: &Options) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_corpus(o: &Options) -> Result<(), String> {
+    use pdgc_bench::corpus;
+    let dir = o.file.as_ref().ok_or("missing corpus directory")?;
+    let files = corpus::load_corpus_dir(std::path::Path::new(dir))
+        .map_err(|e| format!("loading corpus {dir}: {e}"))?;
+    let target = pick_target(&o.target)?;
+    let allocators: Vec<Box<dyn RegisterAllocator>> = if o.allocator_given {
+        vec![pick_allocator(&o.allocator)
+            .ok_or_else(|| format!("unknown allocator `{}`", o.allocator))?]
+    } else {
+        pdgc::all_allocators()
+    };
+    let mut metrics = pdgc::obs::MetricsRegistry::default();
+    let report = corpus::run_corpus(&files, &allocators, &target, o.check, &mut metrics);
+    println!(
+        "corpus: {} files, {} functions, {} allocators, target {}, check {}",
+        files.len(),
+        report.funcs,
+        allocators.len(),
+        target.name,
+        o.check
+    );
+
+    // Aggregate one table row per allocator (per-function detail lives
+    // in the baseline).
+    let rows: Vec<Vec<String>> = allocators
+        .iter()
+        .map(|a| {
+            let mine: Vec<_> = report
+                .rows
+                .iter()
+                .filter(|r| r.allocator == a.name())
+                .collect();
+            let sum = |f: fn(&corpus::CorpusRow) -> u64| {
+                mine.iter().map(|r| f(r)).sum::<u64>().to_string()
+            };
+            vec![
+                a.name().to_string(),
+                mine.len().to_string(),
+                sum(|r| r.spills),
+                sum(|r| r.copies),
+                sum(|r| r.paired),
+            ]
+        })
+        .collect();
+    pdgc_bench::print_table(&["allocator", "funcs", "spills", "copies", "paired"], &rows);
+
+    let label = if o.allocator_given { o.allocator.as_str() } else { "all" };
+    match pdgc_bench::write_metrics("corpus", label, &target.name, &metrics) {
+        Ok(path) => println!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write metrics: {e}"),
+    }
+
+    if !report.failures.is_empty() {
+        for f in &report.failures {
+            eprintln!("FAIL {f}");
+        }
+        return Err(format!("{} corpus failure(s)", report.failures.len()));
+    }
+
+    let bpath = o
+        .baseline
+        .clone()
+        .unwrap_or_else(|| format!("{}/baseline.json", dir.trim_end_matches('/')));
+    if o.write_baseline {
+        let body = corpus::baseline_json(&target.name, &report.rows);
+        std::fs::write(&bpath, body + "\n").map_err(|e| format!("writing {bpath}: {e}"))?;
+        println!("baseline written to {bpath} ({} entries)", report.rows.len());
+        return Ok(());
+    }
+    match std::fs::read_to_string(&bpath) {
+        Ok(text) => {
+            let (btarget, brows) =
+                corpus::parse_baseline(&text).map_err(|e| format!("{bpath}: {e}"))?;
+            let regressions =
+                corpus::compare_baseline(&btarget, &brows, &target.name, &report.rows);
+            if !regressions.is_empty() {
+                for r in &regressions {
+                    eprintln!("REGRESSION {r}");
+                }
+                return Err(format!(
+                    "{} regression(s) against {bpath}",
+                    regressions.len()
+                ));
+            }
+            println!("baseline match: all {} entries identical to {bpath}", report.rows.len());
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            println!("no baseline at {bpath}; run with --write-baseline to create one");
+        }
+        Err(e) => return Err(format!("reading {bpath}: {e}")),
+    }
+    Ok(())
+}
+
 fn cmd_demo(o: &Options) -> Result<(), String> {
     let text = "\
 fn fig7(v0: int) {
@@ -515,6 +644,7 @@ fn main() -> ExitCode {
         Some("allocate") => parse_options(&argv[1..]).and_then(|o| cmd_allocate(&o)),
         Some("run") => parse_options(&argv[1..]).and_then(|o| cmd_run(&o)),
         Some("demo") => parse_options(&argv[1..]).and_then(|o| cmd_demo(&o)),
+        Some("corpus") => parse_options(&argv[1..]).and_then(|o| cmd_corpus(&o)),
         Some("report") => cmd_report(&argv[1..]),
         Some("bench") => match argv.get(1).map(String::as_str) {
             Some("batch") => parse_options(&argv[2..]).and_then(|o| cmd_bench_batch(&o)),

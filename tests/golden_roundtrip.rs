@@ -1,0 +1,124 @@
+//! Golden round-trip fixtures: committed text covering every IR
+//! instruction variant and every machine instruction variant must
+//! parse, verify, and round-trip exactly.
+//!
+//! The coverage assertions make the fixtures self-policing: adding an
+//! instruction variant without extending the fixture (and both parsers)
+//! fails here.
+
+use pdgc::ir::{parse_functions, Function, Inst};
+use pdgc::target::{parse_mach_function, MInst};
+use std::collections::BTreeSet;
+
+const IR_FIXTURE: &str = include_str!("golden/ir_all_insts.pdgc");
+const MACH_FIXTURE: &str = include_str!("golden/mach_all_insts.txt");
+
+fn inst_variant(inst: &Inst) -> &'static str {
+    match inst {
+        Inst::Copy { .. } => "Copy",
+        Inst::Iconst { .. } => "Iconst",
+        Inst::Fconst { .. } => "Fconst",
+        Inst::Load { .. } => "Load",
+        Inst::Load8 { .. } => "Load8",
+        Inst::Store { .. } => "Store",
+        Inst::Bin { .. } => "Bin",
+        Inst::BinImm { .. } => "BinImm",
+        Inst::Call { .. } => "Call",
+        Inst::Jump { .. } => "Jump",
+        Inst::Branch { .. } => "Branch",
+        Inst::BranchImm { .. } => "BranchImm",
+        Inst::Ret { .. } => "Ret",
+        Inst::Reload { .. } => "Reload",
+        Inst::Spill { .. } => "Spill",
+    }
+}
+
+fn minst_variant(inst: &MInst) -> &'static str {
+    match inst {
+        MInst::Copy { .. } => "Copy",
+        MInst::Iconst { .. } => "Iconst",
+        MInst::Fconst { .. } => "Fconst",
+        MInst::Load { .. } => "Load",
+        MInst::Load8 { .. } => "Load8",
+        MInst::LoadPair { .. } => "LoadPair",
+        MInst::Store { .. } => "Store",
+        MInst::SpillLoad { .. } => "SpillLoad",
+        MInst::SpillStore { .. } => "SpillStore",
+        MInst::Bin { .. } => "Bin",
+        MInst::BinImm { .. } => "BinImm",
+        MInst::Call { .. } => "Call",
+        MInst::Jump { .. } => "Jump",
+        MInst::Branch { .. } => "Branch",
+        MInst::BranchImm { .. } => "BranchImm",
+        MInst::Ret => "Ret",
+    }
+}
+
+/// Asserts the full print → parse → print contract for one function.
+/// `structural` is off for the NaN fixture (NaN breaks derived
+/// equality), where the printed fixpoint is the whole contract.
+fn assert_ir_roundtrip(f: &Function, structural: bool) {
+    let printed = f.to_string();
+    let reparsed = pdgc::ir::parse_function(&printed)
+        .unwrap_or_else(|e| panic!("{}: reparse failed: {e}\n{printed}", f.name));
+    if structural {
+        assert_eq!(reparsed, f.with_canonical_callees(), "{}", f.name);
+    }
+    assert_eq!(reparsed.to_string(), printed, "{} fixpoint", f.name);
+}
+
+#[test]
+fn ir_fixture_covers_every_inst_variant_and_roundtrips() {
+    let funcs = parse_functions(IR_FIXTURE).expect("golden IR fixture parses");
+    assert_eq!(funcs.len(), 3);
+    let mut seen = BTreeSet::new();
+    let mut phis = 0usize;
+    for f in &funcs {
+        f.verify().unwrap_or_else(|e| panic!("{}: {e}", f.name));
+        for b in f.block_ids() {
+            phis += f.block(b).phis.len();
+            for inst in &f.block(b).insts {
+                seen.insert(inst_variant(inst));
+            }
+        }
+        assert_ir_roundtrip(f, f.name != "nonfinite_floats");
+    }
+    let want: BTreeSet<&str> = [
+        "Copy", "Iconst", "Fconst", "Load", "Load8", "Store", "Bin", "BinImm", "Call", "Jump",
+        "Branch", "BranchImm", "Ret", "Reload", "Spill",
+    ]
+    .into();
+    assert_eq!(seen, want, "fixture must cover every Inst variant");
+    assert!(phis > 0, "fixture must cover phis");
+}
+
+#[test]
+fn ir_fixture_parses_identically_through_a_second_trip() {
+    // parse ∘ print is idempotent from the first trip on: the first
+    // reparse is canonical, so the second is the identity.
+    for f in parse_functions(IR_FIXTURE).expect("golden IR fixture parses") {
+        let once = pdgc::ir::parse_function(&f.to_string()).expect("first trip");
+        let twice = pdgc::ir::parse_function(&once.to_string()).expect("second trip");
+        assert_eq!(once.to_string(), twice.to_string(), "{}", f.name);
+    }
+}
+
+#[test]
+fn mach_fixture_covers_every_minst_variant_and_roundtrips() {
+    let m = parse_mach_function(MACH_FIXTURE).expect("golden mach fixture parses");
+    let seen: BTreeSet<&str> = m.blocks.iter().flatten().map(minst_variant).collect();
+    let want: BTreeSet<&str> = [
+        "Copy", "Iconst", "Fconst", "Load", "Load8", "LoadPair", "Store", "SpillLoad",
+        "SpillStore", "Bin", "BinImm", "Call", "Jump", "Branch", "BranchImm", "Ret",
+    ]
+    .into();
+    assert_eq!(seen, want, "fixture must cover every MInst variant");
+    assert_eq!(m.num_slots, 2);
+    assert_eq!(m.used_nonvolatiles.len(), 2);
+    assert_eq!(m.callees, vec!["g".to_string(), "log".to_string()]);
+
+    let printed = m.to_string();
+    let reparsed = parse_mach_function(&printed).expect("reparse of printed mach");
+    assert_eq!(reparsed, m);
+    assert_eq!(reparsed.to_string(), printed, "mach fixpoint");
+}
