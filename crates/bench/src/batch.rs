@@ -235,13 +235,18 @@ where
                     )
                     .unwrap_or_else(|e| panic!("{} failed on {}: {e}", alloc.name(), func.name))
             };
+            let fingerprint = fingerprint_mach(&out.mach);
+            let stats = out.stats.clone();
+            // The result is consumed here (stats + fingerprint); hand its
+            // buffers back so the next function on this worker reuses them.
+            out.recycle(scratch);
             (
                 BatchFuncResult {
                     index: i,
                     workload: workload.name.clone(),
                     func: func.name.clone(),
-                    stats: out.stats,
-                    fingerprint: fingerprint_mach(&out.mach),
+                    stats,
+                    fingerprint,
                     phases,
                     // Drain the always-on registry so each function's
                     // metrics travel with its slot; the worker's scratch

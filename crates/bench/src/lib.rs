@@ -13,6 +13,7 @@
 
 pub mod batch;
 pub mod corpus;
+pub mod serve;
 
 use pdgc_core::{AllocStats, CheckMode, CheckScope, ClassStats, PhaseScratch, RegisterAllocator};
 use pdgc_obs::json::JsonObject;
@@ -145,7 +146,9 @@ fn class_json(c: &ClassStats) -> String {
         .finish()
 }
 
-fn stats_json(s: &AllocStats) -> String {
+/// Renders an [`AllocStats`] scorecard as a JSON object — the `"stats"`
+/// payload of batch rows and serve responses.
+pub fn stats_json(s: &AllocStats) -> String {
     JsonObject::new()
         .u64("copies_before", s.copies_before as u64)
         .u64("moves_eliminated", s.moves_eliminated as u64)

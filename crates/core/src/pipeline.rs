@@ -19,7 +19,7 @@ use crate::cost::CostModel;
 use crate::ifg::InterferenceGraph;
 use crate::lower::{lower_abi, Lowered, LowerError};
 use crate::node::{NodeId, NodeMap};
-use crate::rewrite::rewrite;
+use crate::rewrite::rewrite_in;
 use crate::scratch::{ClassScratch, PhaseScratch};
 use crate::select::SelectResult;
 use crate::spill::insert_spill_code;
@@ -200,6 +200,18 @@ pub struct AllocOutput {
     pub lowered: Function,
     /// Final register per virtual register of `lowered`.
     pub assignment: Vec<Option<PhysReg>>,
+}
+
+impl AllocOutput {
+    /// Returns a consumed output's pooled buffers — the assignment vector
+    /// and the machine function's block storage — to `scratch`, so the
+    /// next function on this worker reuses their capacity. Dropping an
+    /// output instead of recycling it is always safe; the pools just
+    /// re-allocate next time.
+    pub fn recycle(self, scratch: &mut PhaseScratch) {
+        scratch.assignments.put(self.assignment);
+        scratch.mach_blocks.put(self.mach.blocks);
+    }
 }
 
 /// Builds a [`ClassCtx`] for one class of the lowered function.
@@ -387,8 +399,11 @@ pub fn run_pipeline_scratch(
             .metrics
             .observe_latency(Phase::Analyze, t0.elapsed().as_nanos() as u64);
         // The assignment is part of the result (it escapes into
-        // `AllocOutput`), so it is not pooled.
-        let mut assignment: Vec<Option<PhysReg>> = vec![None; lowered.func.num_vregs()];
+        // `AllocOutput`), but it is still pooled: abandoned rounds return
+        // it below, and consumers hand the final one back through
+        // [`AllocOutput::recycle`].
+        let mut assignment: Vec<Option<PhysReg>> =
+            scratch.assignments.take_filled(lowered.func.num_vregs(), None);
         let mut spilled_vregs: Vec<VReg> = scratch.vregs.take();
 
         for class in RegClass::ALL {
@@ -456,7 +471,7 @@ pub fn run_pipeline_scratch(
             stats.rounds = round;
             let t0 = Instant::now();
             let mach = with_span(tracer, Phase::Rewrite, round as u32, None, || {
-                rewrite(&lowered.func, &assignment, target, slots, &mut stats)
+                rewrite_in(&lowered.func, &assignment, target, slots, &mut stats, scratch)
             });
             scratch
                 .metrics
@@ -478,6 +493,9 @@ pub fn run_pipeline_scratch(
             });
         }
 
+        // This round spills and iterates; its assignment is abandoned, so
+        // return the vector to the pool for the next round to refill.
+        scratch.assignments.put(assignment);
         let t0 = Instant::now();
         let outcome = with_span(tracer, Phase::Spill, round as u32, None, || {
             insert_spill_code(&mut lowered.func, &spilled_vregs, &mut slots)

@@ -14,6 +14,7 @@
 //! * **callee-save bookkeeping** — every written non-volatile register is
 //!   recorded for the prologue/epilogue.
 
+use crate::scratch::PhaseScratch;
 use crate::stats::AllocStats;
 use pdgc_analysis::{Cfg, Liveness};
 use pdgc_ir::{Function, Inst, VReg};
@@ -37,6 +38,35 @@ pub fn rewrite(
     spill_slots: u32,
     stats: &mut AllocStats,
 ) -> MachFunction {
+    rewrite_in(
+        func,
+        assignment,
+        target,
+        spill_slots,
+        stats,
+        &mut PhaseScratch::default(),
+    )
+}
+
+/// [`rewrite`] drawing its liveness sets and the machine function's block
+/// storage from pooled scratch.
+///
+/// The block storage escapes inside the returned [`MachFunction`]; it
+/// returns to the pool when the caller recycles the surrounding
+/// [`crate::pipeline::AllocOutput`]. With a fresh scratch this is exactly
+/// [`rewrite`].
+///
+/// # Panics
+///
+/// Same as [`rewrite`].
+pub fn rewrite_in(
+    func: &Function,
+    assignment: &[Option<PhysReg>],
+    target: &TargetDesc,
+    spill_slots: u32,
+    stats: &mut AllocStats,
+    scratch: &mut PhaseScratch,
+) -> MachFunction {
     let reg_of = |v: VReg| -> PhysReg {
         assignment[v.index()]
             .unwrap_or_else(|| panic!("rewrite: {v} in {} has no register", func.name))
@@ -44,7 +74,7 @@ pub fn rewrite(
 
     // Live-across sets per call site for caller-save insertion.
     let cfg = Cfg::compute(func);
-    let liveness = Liveness::compute(func, &cfg);
+    let liveness = Liveness::compute_in(func, &cfg, &mut scratch.liveness);
     let mut across: HashMap<(usize, usize), Vec<PhysReg>> = HashMap::new();
     for b in func.block_ids() {
         liveness.for_each_inst_backward(func, b, |i, inst, live_after| {
@@ -78,9 +108,9 @@ pub fn rewrite(
         }
     }
 
-    let mut blocks: Vec<Vec<MInst>> = Vec::with_capacity(func.num_blocks());
+    let mut blocks: Vec<Vec<MInst>> = scratch.mach_blocks.take(func.num_blocks());
     for b in func.block_ids() {
-        let mut out: Vec<MInst> = Vec::new();
+        let out = &mut blocks[b.index()];
         for (i, inst) in func.block(b).insts.iter().enumerate() {
             match inst {
                 Inst::Copy { dst, src } => {
@@ -210,8 +240,7 @@ pub fn rewrite(
                 }
             }
         }
-        fuse_paired_loads(&mut out, target, stats);
-        blocks.push(out);
+        fuse_paired_loads(out, target, stats);
     }
     stats.spill_instructions += stats.spill_loads + stats.spill_stores;
 
@@ -232,6 +261,7 @@ pub fn rewrite(
     written.sort();
     stats.nonvolatiles_used += written.len();
     stats.frame_slots += next_slot;
+    liveness.recycle(&mut scratch.liveness);
 
     MachFunction {
         name: func.name.clone(),

@@ -23,10 +23,11 @@ use crate::node::NodeScratch;
 use crate::select::SelectScratch;
 use crate::simplify::SimplifyScratch;
 use pdgc_analysis::LivenessScratch;
-use pdgc_arena::VecPool;
+use pdgc_arena::{NestedPool, VecPool};
 use pdgc_check::CheckScratch;
 use pdgc_ir::VReg;
 use pdgc_obs::MetricsRegistry;
+use pdgc_target::{MInst, PhysReg};
 
 /// Scratch for one class-strategy invocation: the simplify and select
 /// phases' working sets.
@@ -72,6 +73,17 @@ pub struct PhaseScratch {
     pub flags: VecPool<bool>,
     /// Pool for vreg work lists (the round's spill set).
     pub vregs: VecPool<VReg>,
+    /// Pool for per-vreg assignment vectors. Unlike the other pools this
+    /// one feeds a *result*: the final round's vector escapes into
+    /// [`crate::pipeline::AllocOutput`] and comes back through
+    /// [`crate::pipeline::AllocOutput::recycle`] once the caller has
+    /// consumed the output. Abandoned rounds (spill, iterate) return
+    /// theirs directly.
+    pub assignments: VecPool<Option<PhysReg>>,
+    /// Pool for rewritten machine-code block storage
+    /// (`MachFunction::blocks`), the other result buffer
+    /// [`crate::pipeline::AllocOutput::recycle`] brings home.
+    pub mach_blocks: NestedPool<MInst>,
     /// Always-on metrics accumulated by every function pushed through
     /// this scratch: per-phase latency histograms plus the
     /// allocation-quality scorecard. Fixed-size arrays — recording never

@@ -147,14 +147,25 @@ pub enum Json {
     Obj(Vec<(String, Json)>),
 }
 
+/// Maximum container nesting depth [`Json::parse`] accepts.
+///
+/// The parser is recursive-descent, so unbounded `[[[…]]]` input would
+/// overflow the stack; anything this deep is hostile or broken, never a
+/// metrics snapshot or serve request, so it is a parse *error* (with the
+/// byte offset) rather than a crash. 512 levels cost at most a few
+/// hundred KB of stack — far inside every platform's default.
+pub const MAX_DEPTH: usize = 512;
+
 impl Json {
     /// Parses a complete JSON document. Trailing non-whitespace is an
     /// error, as is any malformed construct; the message includes the
-    /// byte offset.
+    /// byte offset. Containers nested deeper than [`MAX_DEPTH`] are
+    /// rejected the same way — untrusted input cannot blow the stack.
     pub fn parse(text: &str) -> Result<Json, String> {
         let mut p = Parser {
             bytes: text.as_bytes(),
             pos: 0,
+            depth: 0,
         };
         p.skip_ws();
         let v = p.value()?;
@@ -238,9 +249,26 @@ impl std::ops::Index<&str> for Json {
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    /// Current container nesting depth, capped at [`MAX_DEPTH`].
+    depth: usize,
 }
 
 impl<'a> Parser<'a> {
+    fn enter(&mut self) -> Result<(), String> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(format!(
+                "nesting deeper than {MAX_DEPTH} at byte {}",
+                self.pos
+            ));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
     fn skip_ws(&mut self) {
         while let Some(b) = self.bytes.get(self.pos) {
             match b {
@@ -411,10 +439,12 @@ impl<'a> Parser<'a> {
 
     fn array(&mut self) -> Result<Json, String> {
         self.expect(b'[')?;
+        self.enter()?;
         let mut items = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b']') {
             self.pos += 1;
+            self.leave();
             return Ok(Json::Arr(items));
         }
         loop {
@@ -425,6 +455,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b']') => {
                     self.pos += 1;
+                    self.leave();
                     return Ok(Json::Arr(items));
                 }
                 _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
@@ -434,10 +465,12 @@ impl<'a> Parser<'a> {
 
     fn object(&mut self) -> Result<Json, String> {
         self.expect(b'{')?;
+        self.enter()?;
         let mut fields = Vec::new();
         self.skip_ws();
         if self.peek() == Some(b'}') {
             self.pos += 1;
+            self.leave();
             return Ok(Json::Obj(fields));
         }
         loop {
@@ -453,6 +486,7 @@ impl<'a> Parser<'a> {
                 Some(b',') => self.pos += 1,
                 Some(b'}') => {
                     self.pos += 1;
+                    self.leave();
                     return Ok(Json::Obj(fields));
                 }
                 _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
@@ -535,6 +569,59 @@ mod tests {
         assert!(Json::parse("truefalse").is_err());
         assert!(Json::parse("\"\\ud800\"").is_err()); // lone surrogate
         assert!(Json::parse("1 2").is_err()); // trailing data
+    }
+
+    #[test]
+    fn deeply_nested_input_is_an_error_not_a_crash() {
+        // A ~100k-deep array: before the depth limit this overflowed the
+        // recursive-descent parser's stack. It must come back as a parse
+        // error naming the offending byte.
+        let depth = 100_000;
+        let mut hostile = String::with_capacity(2 * depth);
+        for _ in 0..depth {
+            hostile.push('[');
+        }
+        for _ in 0..depth {
+            hostile.push(']');
+        }
+        let err = Json::parse(&hostile).unwrap_err();
+        assert!(err.contains("nesting deeper than"), "unexpected error: {err}");
+        assert!(err.contains(&format!("{MAX_DEPTH}")), "no limit in: {err}");
+        assert!(err.contains("byte"), "no offset in: {err}");
+
+        // Same for objects.
+        let mut objs = String::new();
+        for _ in 0..depth {
+            objs.push_str("{\"a\":");
+        }
+        objs.push('1');
+        for _ in 0..depth {
+            objs.push('}');
+        }
+        assert!(Json::parse(&objs).unwrap_err().contains("nesting deeper than"));
+    }
+
+    #[test]
+    fn nesting_at_the_limit_still_parses() {
+        let mut ok = String::new();
+        for _ in 0..MAX_DEPTH {
+            ok.push('[');
+        }
+        for _ in 0..MAX_DEPTH {
+            ok.push(']');
+        }
+        assert!(Json::parse(&ok).is_ok());
+        // One more level tips it over.
+        let over = format!("[{ok}]");
+        assert!(Json::parse(&over).is_err());
+    }
+
+    #[test]
+    fn depth_resets_between_siblings() {
+        // Depth is nesting depth, not total container count: many shallow
+        // siblings must not accumulate toward the limit.
+        let wide = format!("[{}]", vec!["[]"; 2 * MAX_DEPTH].join(","));
+        assert!(Json::parse(&wide).is_ok());
     }
 
     #[test]

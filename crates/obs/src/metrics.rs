@@ -120,11 +120,25 @@ pub enum Counter {
     CheckPairedLoads,
     /// Rules broken across all checker rejections.
     CheckViolations,
+    /// JSONL requests a `pdgc serve` session received (well-formed or not).
+    ServeRequests,
+    /// Requests answered with an error response (parse/validation/allocation).
+    ServeErrors,
+    /// Allocation-cache lookups answered from the cache.
+    CacheHits,
+    /// Allocation-cache lookups that had to allocate.
+    CacheMisses,
+    /// Entries inserted into the allocation cache.
+    CacheInsertions,
+    /// Entries evicted to keep the cache under its capacity.
+    CacheEvictions,
+    /// Cache hits re-proven by the sampled symbolic check.
+    CacheHitChecks,
 }
 
 impl Counter {
     /// Every counter, in array order.
-    pub const ALL: [Counter; 37] = [
+    pub const ALL: [Counter; 44] = [
         Counter::FuncsAllocated,
         Counter::RoundsTotal,
         Counter::CopiesBefore,
@@ -162,6 +176,13 @@ impl Counter {
         Counter::CheckMachInsts,
         Counter::CheckPairedLoads,
         Counter::CheckViolations,
+        Counter::ServeRequests,
+        Counter::ServeErrors,
+        Counter::CacheHits,
+        Counter::CacheMisses,
+        Counter::CacheInsertions,
+        Counter::CacheEvictions,
+        Counter::CacheHitChecks,
     ];
 
     /// Number of counters.
@@ -207,6 +228,13 @@ impl Counter {
             Counter::CheckMachInsts => "check_mach_insts",
             Counter::CheckPairedLoads => "check_paired_loads",
             Counter::CheckViolations => "check_violations",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeErrors => "serve_errors",
+            Counter::CacheHits => "cache_hits",
+            Counter::CacheMisses => "cache_misses",
+            Counter::CacheInsertions => "cache_insertions",
+            Counter::CacheEvictions => "cache_evictions",
+            Counter::CacheHitChecks => "cache_hit_checks",
         }
     }
 

@@ -28,6 +28,9 @@ USAGE:
     pdgc corpus <DIR> [--allocator NAME] [--target NAME] [--check[=MODE]]
                       [--baseline FILE] [--write-baseline]
     pdgc report --baseline FILE --current FILE
+    pdgc serve [--socket PATH] [--jobs N] [--allocator NAME] [--target NAME]
+               [--check[=MODE]] [--cache-cap N] [--sample-rate N]
+               [--emit-requests DIR]
     pdgc --help
 
 ALLOCATORS:
@@ -75,6 +78,25 @@ CORPUS:
     --baseline FILE): any changed spill/copy/pair count or code
     fingerprint exits non-zero naming the function. --write-baseline
     regenerates the baseline instead of comparing.
+
+SERVE:
+    `serve` runs a long-lived allocation daemon with a content-addressed
+    cache. It reads JSONL requests — one
+    {\"fn\": \"<IR text>\", \"target\": …, \"allocator\": …, \"check\": …}
+    object per line, all fields but `fn` optional — from stdin (or a Unix
+    socket with --socket PATH) and answers each with one JSONL response
+    carrying the rewritten machine code, its fingerprint, and the
+    allocation scorecard. The cache key is the canonical printed IR plus
+    target, allocator, and check mode; misses are proven by the symbolic
+    checker before insertion and hits are re-proven every --sample-rate
+    hits (default 16, 0 = never). --cache-cap N (default 1024, 0 =
+    unbounded) bounds the cache with LRU eviction. With --jobs N > 1
+    stdin is read to EOF and distinct misses allocate in parallel; the
+    response stream is bit-identical at every job count. Serve and cache
+    counters land in results/metrics.json on exit.
+    --emit-requests DIR instead prints one request line per function of
+    the `.pdgc` corpus under DIR — a self-contained request generator:
+        pdgc serve --emit-requests corpus | pdgc serve
 
 REPORT:
     `report` diffs two metrics.json snapshots (e.g. a committed baseline
@@ -124,6 +146,10 @@ struct Options {
     check: CheckMode,
     baseline: Option<String>,
     write_baseline: bool,
+    socket: Option<String>,
+    cache_cap: usize,
+    sample_rate: u64,
+    emit_requests: Option<String>,
 }
 
 fn parse_options(argv: &[String]) -> Result<Options, String> {
@@ -139,6 +165,10 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
         check: CheckMode::Off,
         baseline: None,
         write_baseline: false,
+        socket: None,
+        cache_cap: 1024,
+        sample_rate: 16,
+        emit_requests: None,
     };
     let mut it = argv.iter();
     while let Some(a) = it.next() {
@@ -177,6 +207,20 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
             "--write-baseline" => {
                 o.write_baseline = true;
             }
+            "--socket" => {
+                o.socket = Some(it.next().ok_or("--socket needs a value")?.clone());
+            }
+            "--cache-cap" => {
+                let v = it.next().ok_or("--cache-cap needs a value")?;
+                o.cache_cap = v.parse().map_err(|_| format!("bad cache cap `{v}`"))?;
+            }
+            "--sample-rate" => {
+                let v = it.next().ok_or("--sample-rate needs a value")?;
+                o.sample_rate = v.parse().map_err(|_| format!("bad sample rate `{v}`"))?;
+            }
+            "--emit-requests" => {
+                o.emit_requests = Some(it.next().ok_or("--emit-requests needs a value")?.clone());
+            }
             other => {
                 // Also accept the --flag=value spelling.
                 if let Some(v) = other.strip_prefix("--trace=") {
@@ -195,6 +239,14 @@ fn parse_options(argv: &[String]) -> Result<Options, String> {
                     o.allocator_given = true;
                 } else if let Some(v) = other.strip_prefix("--target=") {
                     o.target = v.to_string();
+                } else if let Some(v) = other.strip_prefix("--socket=") {
+                    o.socket = Some(v.to_string());
+                } else if let Some(v) = other.strip_prefix("--cache-cap=") {
+                    o.cache_cap = v.parse().map_err(|_| format!("bad cache cap `{v}`"))?;
+                } else if let Some(v) = other.strip_prefix("--sample-rate=") {
+                    o.sample_rate = v.parse().map_err(|_| format!("bad sample rate `{v}`"))?;
+                } else if let Some(v) = other.strip_prefix("--emit-requests=") {
+                    o.emit_requests = Some(v.to_string());
                 } else if other.starts_with("--") {
                     return Err(format!("unknown flag {other}"));
                 } else if o.file.replace(other.to_string()).is_some() {
@@ -548,6 +600,65 @@ fn read_snapshot(path: &str) -> Result<pdgc::obs::json::Json, String> {
     pdgc::obs::json::Json::parse(&text).map_err(|e| format!("{path}: {e}"))
 }
 
+fn cmd_serve(o: &Options) -> Result<(), String> {
+    use pdgc::obs::Counter;
+    use pdgc_bench::serve::{allocator_by_name, corpus_requests, ServeConfig, ServeSession};
+    if let Some(dir) = &o.emit_requests {
+        // Request-generator mode: render a corpus as a JSONL request
+        // stream and exit, so a shell pipeline (or CI) can feed the
+        // daemon without any external JSON tooling.
+        let files = pdgc_bench::corpus::load_corpus_dir(std::path::Path::new(dir))
+            .map_err(|e| format!("loading corpus {dir}: {e}"))?;
+        let text = corpus_requests(&files, &o.target, &o.allocator, o.check)?;
+        print!("{text}");
+        return Ok(());
+    }
+    // Validate the default names up front so a typo fails at startup
+    // rather than on every request.
+    allocator_by_name(&o.allocator).ok_or_else(|| format!("unknown allocator `{}`", o.allocator))?;
+    pick_target(&o.target)?;
+    let mut session = ServeSession::new(ServeConfig {
+        target: o.target.clone(),
+        allocator: o.allocator.clone(),
+        check: o.check,
+        cache_cap: o.cache_cap,
+        sample_rate: o.sample_rate,
+        jobs: o.jobs.unwrap_or(1).max(1),
+    });
+    // Responses go to stdout; everything human-facing goes to stderr so
+    // the JSONL stream stays machine-clean.
+    if let Some(path) = &o.socket {
+        eprintln!(
+            "serving on {path} (allocator {}, target {})",
+            o.allocator, o.target
+        );
+        session
+            .run_socket(std::path::Path::new(path))
+            .map_err(|e| e.to_string())?;
+    } else {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        session
+            .run(stdin.lock(), stdout.lock())
+            .map_err(|e| e.to_string())?;
+    }
+    let m = session.metrics();
+    eprintln!(
+        "serve: {} requests, {} hits ({} re-checked), {} misses, {} errors, {} evictions, {} entries cached",
+        m.get(Counter::ServeRequests),
+        m.get(Counter::CacheHits),
+        m.get(Counter::CacheHitChecks),
+        m.get(Counter::CacheMisses),
+        m.get(Counter::ServeErrors),
+        m.get(Counter::CacheEvictions),
+        session.cache_len(),
+    );
+    let mpath =
+        pdgc_bench::write_metrics("serve", &o.allocator, &o.target, m).map_err(|e| e.to_string())?;
+    eprintln!("wrote {}", mpath.display());
+    Ok(())
+}
+
 fn cmd_report(argv: &[String]) -> Result<(), String> {
     let mut baseline: Option<String> = None;
     let mut current: Option<String> = None;
@@ -646,6 +757,7 @@ fn main() -> ExitCode {
         Some("demo") => parse_options(&argv[1..]).and_then(|o| cmd_demo(&o)),
         Some("corpus") => parse_options(&argv[1..]).and_then(|o| cmd_corpus(&o)),
         Some("report") => cmd_report(&argv[1..]),
+        Some("serve") => parse_options(&argv[1..]).and_then(|o| cmd_serve(&o)),
         Some("bench") => match argv.get(1).map(String::as_str) {
             Some("batch") => parse_options(&argv[2..]).and_then(|o| cmd_bench_batch(&o)),
             other => Err(format!(

@@ -140,12 +140,64 @@ fn pooled_pipeline_allocates_a_fraction_of_the_unpooled_one() {
         format!("{}", fresh_out.mach)
     );
 
-    // The steady-state pooled pipeline still heap-allocates its *results*
-    // (the assignment, the rewritten machine function) but none of its
-    // scratch; require a decisive reduction so a regression that quietly
-    // drops a pool from the reuse path fails loudly.
+    // The steady-state pooled pipeline still heap-allocates parts of its
+    // *results* (the lowered function, name/signature strings) but none of
+    // its scratch; require a decisive reduction so a regression that
+    // quietly drops a pool from the reuse path fails loudly.
     assert!(
         pooled * 2 <= fresh,
         "pooled pipeline made {pooled} allocations vs {fresh} unpooled — scratch reuse regressed"
+    );
+}
+
+#[test]
+fn recycling_results_cuts_warm_run_allocations_further() {
+    let func = bench_function();
+    let target = TargetDesc::ia64_like(PressureModel::Middle);
+    let alloc = PreferenceAllocator::full();
+    let mut tracer = NoopTracer;
+
+    let run = |scratch: &mut PhaseScratch, tracer: &mut NoopTracer| {
+        alloc
+            .allocate_scratch(
+                &func,
+                &target,
+                tracer,
+                CheckMode::Off,
+                CheckScope::Full,
+                scratch,
+            )
+            .expect("allocation succeeds")
+    };
+
+    // Baseline: warm scratch pools, but every run's results are dropped,
+    // so the assignment vector and machine-code block storage are fresh
+    // heap allocations each time.
+    let mut dropped = PhaseScratch::new();
+    let baseline_out = run(&mut dropped, &mut tracer);
+    run(&mut dropped, &mut tracer);
+    let (unrecycled, _) = count_allocs(|| run(&mut dropped, &mut tracer));
+
+    // Recycled: each run returns its output's buffers to the pools, so
+    // the next run's results reuse their capacity.
+    let mut recycled = PhaseScratch::new();
+    run(&mut recycled, &mut tracer).recycle(&mut recycled);
+    run(&mut recycled, &mut tracer).recycle(&mut recycled);
+    let (with_recycle, out) = count_allocs(|| run(&mut recycled, &mut tracer));
+
+    // Recycling must not change the allocation.
+    assert_eq!(out.stats, baseline_out.stats);
+    assert_eq!(format!("{}", out.mach), format!("{}", baseline_out.mach));
+    out.recycle(&mut recycled);
+
+    // The recycled buffers are one assignment vector plus one Vec<MInst>
+    // per block (the bench function has ~60 blocks, measured gap ~67
+    // allocations); pin roughly half that so the assertion fails loudly if
+    // recycling silently stops feeding the pools, yet survives a workload
+    // regeneration that changes the block count.
+    assert!(
+        with_recycle + 30 <= unrecycled,
+        "recycled warm run made {with_recycle} allocations vs {unrecycled} without recycling — \
+         result recycling regressed"
     );
 }
