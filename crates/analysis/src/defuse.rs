@@ -1,5 +1,6 @@
 //! Definition and use sites per virtual register.
 
+use crate::LivenessScratch;
 use pdgc_ir::{Block, Function, VReg};
 
 /// A reference to one instruction position within a function.
@@ -29,9 +30,21 @@ impl DefUse {
     ///
     /// Panics if the function still contains φ-functions.
     pub fn compute(func: &Function) -> Self {
+        Self::compute_in(func, &mut LivenessScratch::default())
+    }
+
+    /// As [`DefUse::compute`], drawing the per-register site lists from
+    /// pooled scratch (one vector per vreg per direction — the dominant
+    /// per-round allocation cost when unpooled). Return them with
+    /// [`DefUse::recycle`] when done.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`DefUse::compute`].
+    pub fn compute_in(func: &Function, scratch: &mut LivenessScratch) -> Self {
         let n = func.num_vregs();
-        let mut defs = vec![Vec::new(); n];
-        let mut uses = vec![Vec::new(); n];
+        let mut defs = scratch.sites.take(n);
+        let mut uses = scratch.sites.take(n);
         for b in func.block_ids() {
             assert!(
                 func.block(b).phis.is_empty(),
@@ -61,6 +74,12 @@ impl DefUse {
     /// Whether `v` is never defined or used.
     pub fn is_unused(&self, v: VReg) -> bool {
         self.defs[v.index()].is_empty() && self.uses[v.index()].is_empty()
+    }
+
+    /// Returns the site-list storage to `scratch` for reuse.
+    pub fn recycle(self, scratch: &mut LivenessScratch) {
+        scratch.sites.put(self.defs);
+        scratch.sites.put(self.uses);
     }
 }
 

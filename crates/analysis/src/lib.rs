@@ -11,6 +11,9 @@
 //!   queries, plus live-across-call information for volatile/non-volatile
 //!   preferences;
 //! * [`DefUse`] — definition and use sites per virtual register;
+//! * [`Spl`] — series-parallel-loop decomposition with region-composed
+//!   liveness/frequency fast paths (bit-identical to the iterative
+//!   solvers, with a clean fallback on irreducible or non-SPL shapes);
 //! * [`BitSet`] — the dense bit set used throughout.
 
 #![forbid(unsafe_code)]
@@ -22,6 +25,7 @@ mod defuse;
 mod dom;
 mod liveness;
 mod loops;
+mod spl;
 
 pub use bitset::BitSet;
 pub use cfg::Cfg;
@@ -29,3 +33,4 @@ pub use defuse::{DefUse, InstRef};
 pub use dom::Dominators;
 pub use liveness::{CallCrossing, Liveness, LivenessScratch};
 pub use loops::{Loops, DEFAULT_LOOP_FREQ_FACTOR};
+pub use spl::{Spl, SplKind, SplScratch};

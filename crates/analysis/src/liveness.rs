@@ -1,6 +1,6 @@
 //! Iterative backward liveness analysis.
 
-use crate::{BitSet, Cfg, Loops};
+use crate::{BitSet, Cfg, Loops, SplScratch};
 use pdgc_arena::NestedPool;
 use pdgc_ir::{Block, Function, Inst, VReg};
 
@@ -12,15 +12,21 @@ use pdgc_ir::{Block, Function, Inst, VReg};
 /// for a stream of functions performs no steady-state heap allocation once
 /// the scratch has grown to the largest function seen. Recycle a finished
 /// [`Liveness`] with [`Liveness::recycle`] to keep its sets in the pool.
+/// Also carries the [`SplScratch`] pools for the SPL region fast path, so
+/// one scratch covers the whole analysis phase.
 #[derive(Debug, Default)]
 pub struct LivenessScratch {
     /// Pooled `Vec<BitSet>` carcasses (gen/kill/live-in/live-out shaped).
     sets: Vec<Vec<BitSet>>,
     order: Vec<Block>,
-    out_tmp: BitSet,
+    pub(crate) out_tmp: BitSet,
     in_tmp: BitSet,
     walk_tmp: BitSet,
     crossings: NestedPool<(Block, usize)>,
+    /// Pool for [`crate::DefUse`]'s per-register site lists.
+    pub(crate) sites: NestedPool<crate::InstRef>,
+    /// Pools for [`crate::Spl`] detection and composition.
+    pub spl: SplScratch,
 }
 
 impl LivenessScratch {
@@ -29,10 +35,13 @@ impl LivenessScratch {
         Self::default()
     }
 
-    /// Takes a pooled set vector resized to `nb` sets of capacity `nv`.
-    fn take_sets(&mut self, nb: usize, nv: usize) -> Vec<BitSet> {
+    /// Takes a pooled set vector with at least `nb` sets of capacity `nv`,
+    /// all cleared. Extra sets beyond `nb` are kept (cleared, allocations
+    /// intact) rather than dropped: the pool serves both block-sized and
+    /// SPL region-sized requests, and truncating on every size change
+    /// would re-allocate the difference each round.
+    pub(crate) fn take_sets(&mut self, nb: usize, nv: usize) -> Vec<BitSet> {
         let mut v = self.sets.pop().unwrap_or_default();
-        v.truncate(nb);
         for s in &mut v {
             s.reset(nv);
         }
@@ -43,7 +52,7 @@ impl LivenessScratch {
     }
 
     /// Returns a set vector to the pool, allocations intact.
-    fn put_sets(&mut self, v: Vec<BitSet>) {
+    pub(crate) fn put_sets(&mut self, v: Vec<BitSet>) {
         self.sets.push(v);
     }
 
@@ -83,28 +92,9 @@ impl Liveness {
     pub fn compute_in(func: &Function, cfg: &Cfg, scratch: &mut LivenessScratch) -> Self {
         let nb = func.num_blocks();
         let nv = func.num_vregs();
-        for b in func.block_ids() {
-            assert!(
-                func.block(b).phis.is_empty(),
-                "Liveness requires lowered phis"
-            );
-        }
-        // gen[b]: used before any def in b; kill[b]: defined in b.
         let mut gen = scratch.take_sets(nb, nv);
         let mut kill = scratch.take_sets(nb, nv);
-        for b in func.block_ids() {
-            let (g, k) = (&mut gen[b.index()], &mut kill[b.index()]);
-            for inst in &func.block(b).insts {
-                inst.visit_uses(|u| {
-                    if !k.contains(u.index()) {
-                        g.insert(u.index());
-                    }
-                });
-                if let Some(d) = inst.def() {
-                    k.insert(d.index());
-                }
-            }
-        }
+        fill_gen_kill(func, &mut gen, &mut kill);
         let mut live_in = scratch.take_sets(nb, nv);
         let mut live_out = scratch.take_sets(nb, nv);
         // Iterate in postorder (reverse of RPO) for fast convergence.
@@ -143,6 +133,21 @@ impl Liveness {
             live_in,
             live_out,
             num_vregs: nv,
+        }
+    }
+
+    /// Builds a `Liveness` from already-computed per-block sets. Used by
+    /// the SPL composition fast path, which produces bit-identical sets
+    /// without running the iterative fixpoint.
+    pub(crate) fn from_parts(
+        live_in: Vec<BitSet>,
+        live_out: Vec<BitSet>,
+        num_vregs: usize,
+    ) -> Self {
+        Liveness {
+            live_in,
+            live_out,
+            num_vregs,
         }
     }
 
@@ -247,6 +252,34 @@ impl Liveness {
     }
 }
 
+/// Fills per-block transfer-function sets: `gen[b]` holds the registers
+/// used in `b` before any def (upward-exposed uses), `kill[b]` the
+/// registers defined in `b`. Shared by the iterative solver and the SPL
+/// composition path so both start from identical leaves.
+///
+/// # Panics
+///
+/// Panics if the function still contains φ-functions.
+pub(crate) fn fill_gen_kill(func: &Function, gen: &mut [BitSet], kill: &mut [BitSet]) {
+    for b in func.block_ids() {
+        assert!(
+            func.block(b).phis.is_empty(),
+            "Liveness requires lowered phis"
+        );
+        let (g, k) = (&mut gen[b.index()], &mut kill[b.index()]);
+        for inst in &func.block(b).insts {
+            inst.visit_uses(|u| {
+                if !k.contains(u.index()) {
+                    g.insert(u.index());
+                }
+            });
+            if let Some(d) = inst.def() {
+                k.insert(d.index());
+            }
+        }
+    }
+}
+
 /// For each register, the call sites it is live across.
 ///
 /// Drives the paper's third preference type ("prefers non-volatile") and the
@@ -269,11 +302,14 @@ impl CallCrossing {
 
     /// The frequency-weighted number of calls `v` is live across
     /// (`Σ Freq_Fact(Call(V))` from the Appendix).
+    ///
+    /// Each site contributes up to `factor^9`, so the sum can exceed
+    /// `u64::MAX`; it saturates rather than wrapping (or panicking in
+    /// debug builds, as a plain `.sum()` would).
     pub fn weighted(&self, v: VReg, loops: &Loops) -> u64 {
         self.crossings[v.index()]
             .iter()
-            .map(|&(b, _)| loops.freq(b))
-            .sum()
+            .fold(0u64, |acc, &(b, _)| acc.saturating_add(loops.freq(b)))
     }
 
     /// Returns the per-register site storage to `scratch` for reuse.
@@ -369,6 +405,34 @@ mod tests {
         let dom = Dominators::compute(&cfg);
         let loops = Loops::compute(&cfg, &dom);
         assert_eq!(cc.weighted(p, &loops), 10);
+    }
+
+    /// Saturation pin: with the frequency factor itself near `u64::MAX`
+    /// (standing in for "very many sites at the depth-9 cap"), summing two
+    /// crossed call sites overflows `u64`; `weighted` must saturate, not
+    /// wrap or panic.
+    #[test]
+    fn weighted_crossing_saturates_instead_of_overflowing() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], Some(RegClass::Int));
+        let p = b.param(0);
+        let header = b.create_block();
+        let exit = b.create_block();
+        b.jump(header);
+        b.switch_to(header);
+        b.call("g", vec![], None);
+        b.call("h", vec![], None);
+        let z = b.iconst(0);
+        b.branch(CmpOp::Ne, p, z, header, exit);
+        b.switch_to(exit);
+        b.ret(Some(p));
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let lv = Liveness::compute(&f, &cfg);
+        let cc = lv.call_crossings(&f);
+        assert_eq!(cc.sites(p).len(), 2);
+        let dom = Dominators::compute(&cfg);
+        let loops = Loops::compute_with_factor(&cfg, &dom, u64::MAX);
+        assert_eq!(cc.weighted(p, &loops), u64::MAX);
     }
 
     #[test]

@@ -32,38 +32,55 @@ impl Loops {
     pub fn compute_with_factor(cfg: &Cfg, dom: &Dominators, freq_factor: u64) -> Self {
         let n = cfg.num_blocks();
         let mut depth = vec![0u32; n];
-        let mut headers = Vec::new();
+        // All back edges t -> h (h dominates t), grouped by header below.
+        // A header with several latches (e.g. a loop with a `continue`) is
+        // ONE natural loop — the union of the per-latch bodies — not a
+        // nest, so depth increments once per header, not once per edge.
+        let mut is_header = vec![false; n];
+        let mut back_edges: Vec<(Block, Block)> = Vec::new();
         for b in (0..n).map(Block::new) {
             if !cfg.is_reachable(b) {
                 continue;
             }
             for &s in cfg.succs(b) {
                 if dom.dominates(s, b) {
-                    // Back edge b -> s: the natural loop is s plus all
-                    // blocks that reach b without passing through s.
-                    if !headers.contains(&s) {
-                        headers.push(s);
+                    is_header[s.index()] = true;
+                    back_edges.push((s, b));
+                }
+            }
+        }
+        back_edges.sort_unstable_by_key(|&(h, t)| (h.index(), t.index()));
+        let headers: Vec<Block> = (0..n)
+            .map(Block::new)
+            .filter(|h| is_header[h.index()])
+            .collect();
+        let mut in_loop = vec![false; n];
+        let mut stack = Vec::new();
+        let mut edge = 0;
+        for &h in &headers {
+            // The natural loop of h: h plus every block that reaches one
+            // of h's latches without passing through h.
+            in_loop.iter_mut().for_each(|x| *x = false);
+            in_loop[h.index()] = true;
+            while edge < back_edges.len() && back_edges[edge].0 == h {
+                let t = back_edges[edge].1;
+                if !in_loop[t.index()] {
+                    in_loop[t.index()] = true;
+                    stack.push(t);
+                }
+                edge += 1;
+            }
+            while let Some(x) = stack.pop() {
+                for &p in cfg.preds(x) {
+                    if !in_loop[p.index()] {
+                        in_loop[p.index()] = true;
+                        stack.push(p);
                     }
-                    let mut in_loop = vec![false; n];
-                    in_loop[s.index()] = true;
-                    let mut stack = Vec::new();
-                    if !in_loop[b.index()] {
-                        in_loop[b.index()] = true;
-                        stack.push(b);
-                    }
-                    while let Some(x) = stack.pop() {
-                        for &p in cfg.preds(x) {
-                            if !in_loop[p.index()] {
-                                in_loop[p.index()] = true;
-                                stack.push(p);
-                            }
-                        }
-                    }
-                    for (i, &inl) in in_loop.iter().enumerate() {
-                        if inl {
-                            depth[i] += 1;
-                        }
-                    }
+                }
+            }
+            for (i, &inl) in in_loop.iter().enumerate() {
+                if inl {
+                    depth[i] += 1;
                 }
             }
         }
@@ -74,11 +91,25 @@ impl Loops {
         }
     }
 
+    /// Builds a `Loops` from precomputed per-block depths and a sorted
+    /// header list. Used by the SPL region fast path, which derives the
+    /// same natural-loop structure from the region tree without running
+    /// the dominator-based detector.
+    pub(crate) fn from_parts(depth: Vec<u32>, headers: Vec<Block>, freq_factor: u64) -> Self {
+        debug_assert!(headers.windows(2).all(|w| w[0].index() < w[1].index()));
+        Loops {
+            depth,
+            headers,
+            freq_factor,
+        }
+    }
+
     /// The loop-nesting depth of `b` (0 = not in a loop).
     ///
-    /// A block inside several distinct natural loops counts each of them,
-    /// so irreducible or shared-header regions may report conservative
-    /// (higher) depths.
+    /// A block inside several distinct natural loops (distinct headers)
+    /// counts each of them, so irreducible regions may report
+    /// conservative (higher) depths. Back edges sharing a header are one
+    /// loop and count once.
     pub fn depth(&self, b: Block) -> u32 {
         self.depth[b.index()]
     }
@@ -141,6 +172,50 @@ mod tests {
         assert_eq!(loops.freq(Block::new(3)), 100);
         assert_eq!(loops.freq(Block::new(5)), 1);
         assert_eq!(loops.headers().len(), 2);
+    }
+
+    /// A `while` loop whose body `continue`s from one arm: two latches
+    /// (body1 -> h and body2 -> h) share the header `h`. This is ONE loop;
+    /// the old per-back-edge counting reported depth 2 / freq 100 for the
+    /// header and the continuing arm as if they were nested.
+    #[test]
+    fn two_latch_continue_loop_counts_once() {
+        let mut b = FunctionBuilder::new("f", vec![RegClass::Int], None);
+        let p = b.param(0);
+        let h = b.create_block();
+        let body1 = b.create_block();
+        let body2 = b.create_block();
+        let exit = b.create_block();
+        let z = b.iconst(0);
+        b.jump(h);
+        b.switch_to(h);
+        b.branch(CmpOp::Ne, p, z, body1, exit);
+        b.switch_to(body1);
+        b.branch(CmpOp::Gt, p, z, h, body2); // `continue` latch
+        b.switch_to(body2);
+        b.jump(h); // normal latch
+        b.switch_to(exit);
+        b.ret(None);
+        let f = b.finish();
+        let cfg = Cfg::compute(&f);
+        let dom = Dominators::compute(&cfg);
+        let loops = Loops::compute(&cfg, &dom);
+        assert_eq!(loops.headers(), &[h], "one loop, one header");
+        assert_eq!(loops.depth(h), 1);
+        assert_eq!(loops.depth(body1), 1);
+        assert_eq!(loops.depth(body2), 1);
+        assert_eq!(loops.depth(exit), 0);
+        assert_eq!(loops.freq(h), 10, "two latches are not two nested loops");
+        assert_eq!(loops.freq(body1), 10);
+    }
+
+    #[test]
+    fn headers_are_sorted_and_deduped() {
+        let f = nested_loops();
+        let cfg = Cfg::compute(&f);
+        let dom = Dominators::compute(&cfg);
+        let loops = Loops::compute(&cfg, &dom);
+        assert_eq!(loops.headers(), &[Block::new(1), Block::new(2)]);
     }
 
     #[test]

@@ -61,6 +61,13 @@ impl<'a> CostModel<'a> {
     }
 
     /// `Freq_Fact` of the instruction's block.
+    ///
+    /// `depth` counts *natural loops* — all back edges sharing a header
+    /// form one loop, so a two-latch (`continue`-shaped) loop weighs its
+    /// body 10×, not 100×. On SPL-shaped functions the pipeline derives
+    /// `Loops` from the region tree (`Spl::loops`), which is bit-identical
+    /// to the iterative dominator-based computation; costs never depend on
+    /// which path produced the analysis.
     pub fn freq(&self, r: InstRef) -> u64 {
         self.loops.freq(r.block)
     }

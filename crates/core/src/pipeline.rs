@@ -22,9 +22,9 @@ use crate::node::{NodeId, NodeMap};
 use crate::rewrite::rewrite_in;
 use crate::scratch::{ClassScratch, PhaseScratch};
 use crate::select::SelectResult;
-use crate::spill::insert_spill_code;
+use crate::spill::{insert_spill_code_fwd, SPL_FORWARD_MAX_ROUNDS};
 use crate::stats::AllocStats;
-use pdgc_analysis::{CallCrossing, Cfg, DefUse, Dominators, Liveness, LivenessScratch, Loops};
+use pdgc_analysis::{CallCrossing, Cfg, DefUse, Dominators, Liveness, LivenessScratch, Loops, Spl};
 use pdgc_check::{check_allocation_in, CheckError, CheckMode, CheckScope, CheckScratch};
 use pdgc_ir::{Function, RegClass, VReg};
 use pdgc_obs::{with_span, Counter, Event, NoopTracer, Phase, Tracer, ValueHist};
@@ -48,6 +48,12 @@ pub struct Analyses {
     pub defuse: DefUse,
     /// Live-across-call records.
     pub crossings: CallCrossing,
+    /// SPL region decomposition of the CFG. When the function is
+    /// SPL-shaped it is what computed `liveness` (and, when
+    /// [`Spl::depth_fast_ok`], `loops`); it also drives run-based reload
+    /// forwarding in the spill phase. On irreducible or otherwise
+    /// non-SPL functions it records the fallback.
+    pub spl: Spl,
 }
 
 /// Runs all of a round's analyses.
@@ -57,12 +63,26 @@ pub fn analyze(func: &Function) -> Analyses {
 
 /// Like [`analyze`], drawing the liveness sets and crossing records from
 /// pooled scratch; return them with [`Analyses::recycle`] when done.
+///
+/// Liveness and loop frequency go through the SPL region fast paths when
+/// the CFG is SPL-shaped — bit-identical to the iterative solvers by the
+/// [`Spl`] contract — and fall back to [`Liveness::compute_in`] and the
+/// dominator-based [`Loops::compute`] otherwise.
 pub fn analyze_in(func: &Function, scratch: &mut LivenessScratch) -> Analyses {
     let cfg = Cfg::compute(func);
-    let liveness = Liveness::compute_in(func, &cfg, scratch);
-    let dom = Dominators::compute(&cfg);
-    let loops = Loops::compute(&cfg, &dom);
-    let defuse = DefUse::compute(func);
+    let spl = Spl::compute_in(&cfg, &mut scratch.spl);
+    let liveness = match spl.liveness_in(func, &cfg, scratch) {
+        Some(lv) => lv,
+        None => Liveness::compute_in(func, &cfg, scratch),
+    };
+    let loops = match spl.loops() {
+        Some(l) => l,
+        None => {
+            let dom = Dominators::compute(&cfg);
+            Loops::compute(&cfg, &dom)
+        }
+    };
+    let defuse = DefUse::compute_in(func, scratch);
     let crossings = liveness.call_crossings_in(func, scratch);
     Analyses {
         cfg,
@@ -70,14 +90,18 @@ pub fn analyze_in(func: &Function, scratch: &mut LivenessScratch) -> Analyses {
         loops,
         defuse,
         crossings,
+        spl,
     }
 }
 
 impl Analyses {
-    /// Returns the pooled liveness and crossing storage to `scratch`.
+    /// Returns the pooled liveness, crossing, def/use, and SPL storage to
+    /// `scratch`.
     pub fn recycle(self, scratch: &mut LivenessScratch) {
         self.crossings.recycle(scratch);
         self.liveness.recycle(scratch);
+        self.defuse.recycle(scratch);
+        self.spl.recycle(&mut scratch.spl);
     }
 }
 
@@ -398,6 +422,20 @@ pub fn run_pipeline_scratch(
         scratch
             .metrics
             .observe_latency(Phase::Analyze, t0.elapsed().as_nanos() as u64);
+        scratch.metrics.bump(if analyses.spl.is_spl() {
+            Counter::SplAnalysesFast
+        } else {
+            Counter::SplAnalysesFallback
+        });
+        if analyses.spl.depth_fast_ok() {
+            scratch.metrics.bump(Counter::SplFreqFast);
+        }
+        scratch
+            .metrics
+            .add(Counter::SplRegions, analyses.spl.regions() as u64);
+        scratch
+            .metrics
+            .add(Counter::SplLoopRegions, analyses.spl.loop_regions() as u64);
         // The assignment is part of the result (it escapes into
         // `AllocOutput`), but it is still pooled: abandoned rounds return
         // it below, and consumers hand the final one back through
@@ -450,7 +488,8 @@ pub fn run_pipeline_scratch(
                 .metrics
                 .drain_into(&mut scratch.metrics);
         }
-        analyses.recycle(&mut scratch.liveness);
+        // `analyses` stays alive past the class loop: the spill phase
+        // below consults the SPL decomposition for reload forwarding.
 
         // A vreg must be spilled at most once per round: classes partition
         // the universe and strategies spill whole nodes, so a duplicate here
@@ -467,6 +506,7 @@ pub fn run_pipeline_scratch(
         scratch.flags.put(seen);
 
         if spilled_vregs.is_empty() {
+            analyses.recycle(&mut scratch.liveness);
             scratch.vregs.put(spilled_vregs);
             stats.rounds = round;
             let t0 = Instant::now();
@@ -497,12 +537,24 @@ pub fn run_pipeline_scratch(
         // return the vector to the pool for the next round to refill.
         scratch.assignments.put(assignment);
         let t0 = Instant::now();
+        // Region-aware spill placement: forward reloads along SPL linear
+        // runs for the early rounds; late rounds fall back to minimal
+        // per-use reloads so temporary pressure cannot stall convergence.
+        let fwd = if round <= SPL_FORWARD_MAX_ROUNDS {
+            Some(&analyses.spl)
+        } else {
+            None
+        };
         let outcome = with_span(tracer, Phase::Spill, round as u32, None, || {
-            insert_spill_code(&mut lowered.func, &spilled_vregs, &mut slots)
+            insert_spill_code_fwd(&mut lowered.func, &spilled_vregs, &mut slots, fwd)
         });
         scratch
             .metrics
             .observe_latency(Phase::Spill, t0.elapsed().as_nanos() as u64);
+        scratch
+            .metrics
+            .add(Counter::SplForwardedReloads, outcome.forwarded as u64);
+        analyses.recycle(&mut scratch.liveness);
         if tracer.enabled() {
             tracer.record(&Event::SpillCode {
                 round: round as u32,

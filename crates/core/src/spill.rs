@@ -6,8 +6,23 @@
 //! each use site gets a fresh temporary reloaded just before. The
 //! temporaries have tiny live ranges and are marked unspillable for
 //! subsequent rounds.
+//!
+//! When the caller hands over an SPL region decomposition
+//! ([`insert_spill_code_fwd`]), the pass additionally *forwards* reloaded
+//! (or just-stored) values along the decomposition's linear runs: inside a
+//! block, and across an edge that the region tree proves is the only way
+//! into the next block, a temporary that already holds the slot's value
+//! serves later uses directly instead of reloading per use. Forwarding
+//! lengthens temporary live ranges (they are unspillable), so the pipeline
+//! only enables it for the first [`SPL_FORWARD_MAX_ROUNDS`] spill rounds —
+//! late rounds revert to minimal per-use reloads to guarantee convergence.
 
-use pdgc_ir::{Function, Inst, VReg};
+use pdgc_analysis::Spl;
+use pdgc_ir::{Block, Function, Inst, VReg};
+
+/// Last spill round in which run-based reload forwarding stays enabled;
+/// later rounds insert minimal per-use reloads only.
+pub const SPL_FORWARD_MAX_ROUNDS: usize = 4;
 
 /// The result of one spill-insertion pass.
 #[derive(Clone, Debug, Default)]
@@ -18,6 +33,8 @@ pub struct SpillOutcome {
     pub loads: usize,
     /// Spill-store instructions inserted.
     pub stores: usize,
+    /// Reloads avoided by forwarding an already-available temporary.
+    pub forwarded: usize,
 }
 
 /// Splits every register in `spilled`, assigning each a fresh frame slot
@@ -33,10 +50,50 @@ pub fn insert_spill_code(
     spilled: &[VReg],
     next_slot: &mut u32,
 ) -> SpillOutcome {
+    insert_spill_code_fwd(func, spilled, next_slot, None)
+}
+
+/// [`insert_spill_code`] with reload forwarding along SPL linear runs.
+///
+/// With `regions: None` (or a decomposition whose [`Spl::is_spl`] is
+/// false) this is exactly [`insert_spill_code`]: every use site reloads.
+/// With an SPL-shaped decomposition, a temporary that already holds a
+/// spilled value — from a reload or from the store after a def — serves
+/// subsequent uses in the same block, and across a block boundary when
+/// [`Spl::run_pred`] proves the boundary is a straight-line fall-through
+/// (the next block's only entry). Frame slots are still written at every
+/// def, so the memory image is identical either way; only redundant
+/// reloads disappear.
+///
+/// # Panics
+///
+/// Same as [`insert_spill_code`].
+pub fn insert_spill_code_fwd(
+    func: &mut Function,
+    spilled: &[VReg],
+    next_slot: &mut u32,
+    regions: Option<&Spl>,
+) -> SpillOutcome {
     let mut outcome = SpillOutcome::default();
     if spilled.is_empty() {
         return outcome;
     }
+    let forwarding = regions.is_some_and(Spl::is_spl);
+    // Per original vreg: the fresh temporary currently holding its value,
+    // valid for the block whose index is `avail_owner` (and, via
+    // `run_pred`, into that block's unique fall-through successor).
+    let mut avail: Vec<Option<VReg>> = if forwarding {
+        vec![None; func.num_vregs()]
+    } else {
+        Vec::new()
+    };
+    let mut avail_owner: Option<usize> = None;
+    // Temporaries that ended up serving extra sites. They no longer have
+    // the tiny single-site live range that justifies the unspillable mark,
+    // so they are dropped from `new_temps` below and stay spillable: if a
+    // later round is squeezed, it can split them back into per-use
+    // reloads instead of blocking the simplify stack.
+    let mut widened: Vec<VReg> = Vec::new();
     let mut slot_of = vec![None; func.num_vregs()];
     let mut has_def = vec![false; func.num_vregs()];
     for b in func.block_ids() {
@@ -62,6 +119,17 @@ pub fn insert_spill_code(
     }
 
     for bi in 0..func.num_blocks() {
+        if forwarding {
+            // The map's contents describe `avail_owner`'s end state; keep
+            // them only when this block's sole entry is that very block's
+            // sole exit (the run edge). Blocks are visited in id order, so
+            // a run predecessor processed further back simply clears.
+            let carried = avail_owner.is_some()
+                && regions.unwrap().run_pred(Block::new(bi)).map(|p| p.index()) == avail_owner;
+            if !carried {
+                avail.iter_mut().for_each(|a| *a = None);
+            }
+        }
         // Taken-buffer audit: nothing between this take and the write-back
         // below can return early or panic on user input (slot lookups are
         // guarded by `slot_of` entries created above), so the block cannot
@@ -77,6 +145,22 @@ pub fn insert_spill_code(
                 }
             });
             for orig in wanted {
+                if forwarding {
+                    if let Some(t) = avail[orig.index()] {
+                        // A live temporary already holds the slot's value.
+                        outcome.forwarded += 1;
+                        if !widened.contains(&t) {
+                            widened.push(t);
+                        }
+                        let (o, t) = (orig, t);
+                        inst.visit_uses_mut(|u| {
+                            if *u == o {
+                                *u = t;
+                            }
+                        });
+                        continue;
+                    }
+                }
                 let slot = slot_of[orig.index()].unwrap();
                 let temp = func.vreg_classes.len();
                 func.vreg_classes.push(func.vreg_classes[orig.index()]);
@@ -84,12 +168,24 @@ pub fn insert_spill_code(
                 outcome.new_temps.push(temp);
                 outcome.loads += 1;
                 new.push(Inst::Reload { dst: temp, slot });
+                if forwarding {
+                    avail[orig.index()] = Some(temp);
+                }
                 let (o, t) = (orig, temp);
                 inst.visit_uses_mut(|u| {
                     if *u == o {
                         *u = t;
                     }
                 });
+            }
+            // A temporary forwarded across a call would be a call-crossing
+            // live range — exactly what §5.4 active spilling pays Mem_Cost
+            // to avoid (it would come back as caller save/restore pairs).
+            // The slot is the value's home across calls; drop every
+            // forwarding candidate at the boundary. (Reloads feeding the
+            // call itself happened above and their temps die here.)
+            if forwarding && inst.is_call() {
+                avail.iter_mut().for_each(|a| *a = None);
             }
             // Store after defs.
             match inst.def() {
@@ -105,11 +201,21 @@ pub fn insert_spill_code(
                     }
                     new.push(inst);
                     new.push(Inst::Spill { src: temp, slot });
+                    if forwarding {
+                        // The just-stored temporary is the freshest copy.
+                        avail[d.index()] = Some(temp);
+                    }
                 }
                 _ => new.push(inst),
             }
         }
         func.blocks[bi].insts = new;
+        if forwarding {
+            avail_owner = Some(bi);
+        }
+    }
+    if !widened.is_empty() {
+        outcome.new_temps.retain(|t| !widened.contains(t));
     }
     outcome
 }
